@@ -1,0 +1,71 @@
+"""Ablation: cost and accuracy of the FFT multiplexing check.
+
+The paper claims all needed convolutions run "in milliseconds" thanks to
+the FFT and reports that 1024 quantization levels "yields good
+performance".  This bench measures the check's wall-clock cost as the
+number of co-located aggregates grows, and the exceedance-probability
+error across quantization levels against a Monte-Carlo reference.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.multiplexing import exceedance_probability
+
+
+def build_aggregates(n_aggregates: int, rng) -> list:
+    """Bursty 100 ms samples for one measurement minute per aggregate."""
+    samples = []
+    for _ in range(n_aggregates):
+        mean = rng.uniform(0.5e9, 2e9)
+        sigma = mean * rng.uniform(0.1, 0.3)
+        samples.append(np.maximum(rng.normal(mean, sigma, size=600), 0.0))
+    return samples
+
+
+def sweep(rng):
+    timings = {}
+    for n in (2, 8, 32, 128):
+        aggregates = build_aggregates(n, rng)
+        capacity = sum(s.mean() for s in aggregates) * 1.2
+        start = time.perf_counter()
+        probability = exceedance_probability(aggregates, capacity)
+        timings[n] = (time.perf_counter() - start, probability)
+
+    # Accuracy vs quantization, against Monte-Carlo with 4 aggregates.
+    aggregates = build_aggregates(4, rng)
+    capacity = sum(s.mean() for s in aggregates) * 1.05
+    draws = np.zeros(200_000)
+    for s in aggregates:
+        draws += rng.choice(s, size=draws.shape[0])
+    reference = float(np.mean(draws > capacity))
+    errors = {}
+    for levels in (64, 256, 1024, 4096):
+        probability = exceedance_probability(aggregates, capacity, levels)
+        errors[levels] = abs(probability - reference)
+    return timings, errors, reference
+
+
+def test_ablation_convolution(benchmark):
+    rng = np.random.default_rng(1024)
+    timings, errors, reference = benchmark.pedantic(
+        sweep, args=(rng,), rounds=1, iterations=1
+    )
+
+    # The paper's "milliseconds" claim: even 128 aggregates convolve in
+    # well under 100 ms.
+    assert timings[128][0] < 0.1
+    # 1024 levels already track the Monte-Carlo reference closely.
+    assert errors[1024] < 0.02
+    # Finer quantization does not make things worse.
+    assert errors[4096] <= errors[64] + 1e-9
+
+    lines = ["aggregates -> convolution time / P[exceed]:"]
+    for n, (elapsed, probability) in timings.items():
+        lines.append(f"  n={n:>4d}: {elapsed * 1000:7.2f} ms  p={probability:.2e}")
+    lines.append(f"\nquantization error vs Monte-Carlo (p={reference:.4f}):")
+    for levels, error in errors.items():
+        lines.append(f"  levels={levels:>5d}: |err|={error:.5f}")
+    emit("ablation_convolution", "\n".join(lines))

@@ -1,0 +1,95 @@
+"""Ablation: how the path-set policy determines MinMax's fate.
+
+The paper argues (§3, §8) that a *fixed* path budget k is always wrong on
+some network — too small to find capacity on path-diverse topologies, too
+large (hence detour-happy) on sparse ones — and suggests growing path sets
+per aggregate subject to a delay-stretch bound instead.  This bench
+compares, across the high-LLPD networks:
+
+* MinMax over fixed k in {3, 10, 30};
+* MinMax with a stretch bound of 2.0 (the §8 suggestion);
+* full MinMax (MCF-seeded, exactly optimal utilization).
+
+Expected shape: small k congests; large k and full MinMax never congest
+but buy it with long detours; the stretch-bounded variant avoids both when
+the bound is wide enough.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.routing import MinMaxRouting
+
+
+def run_policies(items):
+    policies = {
+        "K3": dict(k=3),
+        "K10": dict(k=10),
+        "K30": dict(k=30),
+        "S2.0": dict(stretch_bound=2.0),
+        "full": dict(),
+    }
+    rows = {}
+    for label, kwargs in policies.items():
+        congested = 0
+        total = 0
+        stretches = []
+        max_stretches = []
+        for item in items:
+            for tm in item.matrices:
+                placement = MinMaxRouting(cache=item.cache, **kwargs).place(
+                    item.network, tm
+                )
+                total += 1
+                if placement.congested_pair_fraction() > 0:
+                    congested += 1
+                else:
+                    stretches.append(placement.total_latency_stretch())
+                    max_stretches.append(placement.max_path_stretch())
+        rows[label] = {
+            "congested_fraction": congested / total,
+            "median_stretch": float(np.median(stretches)) if stretches else None,
+            "median_max_path_stretch": (
+                float(np.median(max_stretches)) if max_stretches else None
+            ),
+        }
+    return rows
+
+
+def test_ablation_pathsets(benchmark, high_llpd_items):
+    rows = benchmark.pedantic(
+        run_policies, args=(high_llpd_items,), rounds=1, iterations=1
+    )
+
+    # Full MinMax never congests; a small fixed k congests at least as
+    # often as a big one.
+    assert rows["full"]["congested_fraction"] == 0.0
+    assert (
+        rows["K3"]["congested_fraction"] >= rows["K30"]["congested_fraction"]
+    )
+    # Where both fit, the stretch-bounded variant's worst detour is no
+    # longer than full MinMax's.
+    if rows["S2.0"]["median_max_path_stretch"] is not None:
+        assert (
+            rows["S2.0"]["median_max_path_stretch"]
+            <= rows["full"]["median_max_path_stretch"] + 1e-9
+        )
+
+    lines = [
+        f"{'policy':>6s} {'congested':>10s} {'med stretch':>12s} "
+        f"{'med max-path':>13s}"
+    ]
+    for label, row in rows.items():
+        stretch = (
+            f"{row['median_stretch']:.4f}" if row["median_stretch"] else "-"
+        )
+        worst = (
+            f"{row['median_max_path_stretch']:.2f}"
+            if row["median_max_path_stretch"]
+            else "-"
+        )
+        lines.append(
+            f"{label:>6s} {row['congested_fraction']:>10.2f} "
+            f"{stretch:>12s} {worst:>13s}"
+        )
+    emit("ablation_pathsets", "\n".join(lines))

@@ -1,0 +1,61 @@
+"""Ablation: Algorithm 1's hedge and decay parameters.
+
+The paper fixes ``fixed_hedge = 1.1`` and ``decay_multiplier = 0.98``.
+This bench sweeps both and reports the two quantities they trade off:
+
+* *exceed fraction* — how often the measured rate beats the prediction
+  (headroom shortfall; the paper reports ~0.5% at the defaults);
+* *over-provisioning* — mean prediction / mean rate (capacity wasted).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.prediction import predict_series
+from repro.traces import minute_means, trace_ensemble
+
+
+def sweep(traces):
+    rows = {}
+    for hedge in (1.0, 1.05, 1.1, 1.2):
+        for decay in (0.90, 0.98, 1.0):
+            exceed = []
+            waste = []
+            for trace in traces:
+                means = minute_means(trace, 600)
+                predictions = predict_series(
+                    means, decay_multiplier=decay, fixed_hedge=hedge
+                )
+                ratio = means[1:] / predictions[:-1]
+                exceed.append(np.mean(ratio > 1.0))
+                waste.append(np.mean(predictions[:-1] / means[1:]))
+            rows[(hedge, decay)] = (
+                float(np.mean(exceed)),
+                float(np.mean(waste)),
+            )
+    return rows
+
+
+def test_ablation_prediction(benchmark):
+    rng = np.random.default_rng(42)
+    traces = trace_ensemble(10, rng, minutes=40, sample_ms=100)
+    rows = benchmark.pedantic(sweep, args=(traces,), rounds=1, iterations=1)
+
+    # The paper's defaults keep exceedances rare at modest overhead.
+    exceed_default, waste_default = rows[(1.1, 0.98)]
+    assert exceed_default < 0.02
+    assert waste_default < 1.35
+    # No hedge -> much more frequent exceedance.
+    exceed_none, _ = rows[(1.0, 0.98)]
+    assert exceed_none > exceed_default
+    # A bigger hedge trades less exceedance for more over-provisioning.
+    exceed_big, waste_big = rows[(1.2, 0.98)]
+    assert exceed_big <= exceed_default + 1e-9
+    assert waste_big > waste_default
+
+    lines = [f"{'hedge':>6s} {'decay':>6s} {'exceed':>8s} {'overprov':>9s}"]
+    for (hedge, decay), (exceed, waste) in sorted(rows.items()):
+        lines.append(
+            f"{hedge:>6.2f} {decay:>6.2f} {exceed:>8.4f} {waste:>9.4f}"
+        )
+    emit("ablation_prediction", "\n".join(lines))

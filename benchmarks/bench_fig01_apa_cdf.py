@@ -1,0 +1,38 @@
+"""Figure 1: CDFs of APA for all networks (path stretch limit 1.4).
+
+Paper shape: networks vary widely; tree-like networks hug the top-left
+(APA ~ 0 for most pairs), grid/mesh networks reach the lower right, and
+clique overlays are horizontal lines.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import fig01_apa_cdfs
+from repro.experiments.render import render_cdf
+
+
+def test_fig01_apa_cdf(benchmark, standard_workload):
+    networks = [item.network for item in standard_workload.networks]
+
+    curves = benchmark.pedantic(
+        fig01_apa_cdfs, args=(networks,), rounds=1, iterations=1
+    )
+
+    # Shape: every curve is a valid CDF support and the ensemble spans a
+    # wide APA range (diverse zoo, as in the paper's Figure 1).
+    assert len(curves) == len(networks)
+    maxima = []
+    for name, cdf in curves.items():
+        assert (np.diff(cdf) >= 0).all(), name
+        assert 0.0 <= cdf[0] and cdf[-1] <= 1.0, name
+        maxima.append(cdf[-1])
+    assert min(maxima) < 0.3, "zoo should contain tree-like networks"
+    assert max(maxima) == 1.0, "zoo should contain fully-diverse networks"
+
+    lines = []
+    for name, cdf in sorted(curves.items()):
+        lines.append(
+            render_cdf(f"APA quantiles: {name} (pairs={len(cdf)})", cdf)
+        )
+    emit("fig01_apa_cdf", "\n\n".join(lines))

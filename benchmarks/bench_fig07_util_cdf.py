@@ -1,0 +1,44 @@
+"""Figure 7: link-utilization CDF in the GTS-like network's median traffic
+matrix, latency-optimal vs MinMax.
+
+Paper shape: most links are lightly loaded and look similar under both
+schemes; the busiest links sit at ~100% under latency-optimal routing and
+at ~77% (1 - the 23% headroom) under MinMax.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import fig07_utilization_cdf
+from repro.experiments.render import render_cdf
+from repro.experiments.workloads import build_traffic_matrices
+from repro.net.zoo import gts_like
+
+
+def test_fig07_utilization_cdf(benchmark):
+    network = gts_like()
+    rng = np.random.default_rng(7)
+    tm = build_traffic_matrices(network, 1, rng, locality=1.0,
+                                growth_factor=1.3)[0]
+
+    result = benchmark.pedantic(
+        fig07_utilization_cdf, args=(network, tm), rounds=1, iterations=1
+    )
+
+    optimal = result["latency_optimal"]
+    minmax = result["minmax"]
+    # Busiest links: ~1.0 for latency-optimal, ~0.77 for MinMax.
+    assert optimal.max() == pytest.approx(1.0, abs=0.02)
+    assert minmax.max() == pytest.approx(1 / 1.3, rel=0.02)
+    # The bulk of links look alike: medians within a few points.
+    assert abs(float(np.median(optimal)) - float(np.median(minmax))) < 0.15
+
+    emit(
+        "fig07_util_cdf",
+        render_cdf("latency-optimal link utilization", optimal)
+        + f"\n  mean: {optimal.mean():.3f}\n\n"
+        + render_cdf("MinMax link utilization", minmax)
+        + f"\n  mean: {minmax.mean():.3f}",
+    )
+

@@ -1,0 +1,45 @@
+"""Figure 9: CDF of measured/predicted mean bitrate (Algorithm 1) over the
+trace corpus.
+
+Paper shape: traffic is very predictable minute to minute; only ~0.5% of
+minutes exceed the hedged prediction (ratio > 1), and never by more than
+10%.  Constant traffic would sit at 1/1.1 = 0.91.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import fig09_prediction_ratios
+from repro.experiments.render import render_cdf
+from repro.traces import trace_ensemble
+
+N_TRACES = 12
+MINUTES = 40
+
+
+def test_fig09_prediction(benchmark):
+    rng = np.random.default_rng(9)
+    traces = trace_ensemble(N_TRACES, rng, minutes=MINUTES, sample_ms=100)
+
+    ratios = benchmark.pedantic(
+        fig09_prediction_ratios,
+        args=(traces, 600),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(ratios) == N_TRACES * (MINUTES - 1)
+    exceed = float(np.mean(ratios > 1.0))
+    assert exceed < 0.02, f"{exceed:.1%} of minutes exceeded the prediction"
+    assert ratios.max() < 1.10, "never exceeds the target by more than 10%"
+    # The bulk sits near 1/1.1 (tracking the hedge).
+    assert abs(float(np.median(ratios)) - 1 / 1.1) < 0.05
+
+    emit(
+        "fig09_prediction",
+        render_cdf(
+            f"Fig 9: measured/predicted bitrate "
+            f"(exceed fraction {exceed:.4f})",
+            ratios,
+        ),
+    )

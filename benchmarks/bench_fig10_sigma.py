@@ -1,0 +1,44 @@
+"""Figure 10: minute-to-minute change of the standard deviation of the
+traffic rate.
+
+Paper shape: absolute sigma spans a wide range across traces, but the
+(sigma_t, sigma_{t+1}) points cluster tightly around the x = y line —
+variability is predictable, so a routing system can use it to size
+headroom.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import fig10_sigma_scatter
+from repro.experiments.render import render_scatter_summary
+from repro.traces import trace_ensemble
+
+N_TRACES = 8
+MINUTES = 20
+
+
+def test_fig10_sigma(benchmark):
+    rng = np.random.default_rng(10)
+    traces = trace_ensemble(N_TRACES, rng, minutes=MINUTES, sample_ms=10)
+
+    points = benchmark.pedantic(
+        fig10_sigma_scatter, args=(traces, 6000), rounds=1, iterations=1
+    )
+
+    assert len(points) == N_TRACES * (MINUTES - 1)
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    # Tight clustering around x = y.
+    assert float(np.corrcoef(xs, ys)[0, 1]) > 0.8
+    relative = np.abs(ys - xs) / xs
+    assert float(np.median(relative)) < 0.25
+    # Wide absolute range across traces (different colours in the paper).
+    assert xs.max() / xs.min() > 2.0
+
+    emit(
+        "fig10_sigma",
+        render_scatter_summary(
+            "Fig 10: sigma(t) vs sigma(t+1) across traces", points
+        ),
+    )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a topology, load it, route it.
+
+Builds the GTS-Central-Europe-like grid (the paper's running example),
+measures its low-latency path diversity (LLPD), synthesizes a paper-style
+traffic matrix (gravity + locality + min-cut scaling), and compares
+shortest-path routing with the paper's latency-optimal LP.
+"""
+
+import numpy as np
+
+from repro.core.metrics import ApaParameters, apa_all_pairs, llpd_from_apa
+from repro.net.units import to_gbps
+from repro.net.zoo import gts_like
+from repro.routing import LatencyOptimalRouting, ShortestPathRouting
+from repro.tm import (
+    apply_locality,
+    gravity_traffic_matrix,
+    scale_to_growth_headroom,
+)
+
+
+def main() -> None:
+    network = gts_like()
+    print(f"network: {network.name}, {network.num_nodes} PoPs, "
+          f"{len(network.duplex_pairs())} physical links")
+
+    # 1. How much low-latency path diversity does this topology offer?
+    apa = apa_all_pairs(network, ApaParameters())
+    value = llpd_from_apa(apa)
+    print(f"LLPD = {value:.3f}  "
+          f"(fraction of PoP pairs with APA >= 0.7; grids score high)")
+
+    # 2. A paper-style workload: gravity demands, locality 1, scaled so
+    #    traffic could still grow 1.3x under optimal routing.
+    rng = np.random.default_rng(0)
+    tm = gravity_traffic_matrix(network, rng)
+    tm = apply_locality(network, tm, locality=1.0)
+    tm = scale_to_growth_headroom(network, tm, growth_factor=1.3)
+    print(f"traffic matrix: {len(tm.aggregates())} aggregates, "
+          f"{to_gbps(tm.total_demand_bps):.1f} Gb/s total")
+
+    # 3. Route it two ways.
+    for scheme in (ShortestPathRouting(), LatencyOptimalRouting()):
+        placement = scheme.place(network, tm)
+        print(
+            f"{scheme.name:>15s}: "
+            f"congested pairs {placement.congested_pair_fraction():5.1%}  "
+            f"latency stretch {placement.total_latency_stretch():.4f}  "
+            f"max link util {placement.max_utilization():.3f}"
+        )
+    print(
+        "\nShortest-path routing concentrates traffic on the grid's "
+        "central links; the latency-optimal LP fits everything with "
+        "near-zero stretch — the paper's Figure 3 vs Figure 4(a) in "
+        "miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

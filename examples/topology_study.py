@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Survey the synthetic topology zoo through the APA/LLPD lens (§2).
+
+Prints, per network: size, diameter, LLPD, and a compact APA CDF — the
+data behind the paper's Figures 1 and 2.  Finishes with a closer look at
+the named replicas (GTS-like grid, Cogent-like two-continent network,
+Globalcenter-like clique overlay, Google-SNet-like enterprise WAN).
+"""
+
+import numpy as np
+
+from repro.core.metrics import ApaParameters, apa_all_pairs, apa_cdf, llpd_from_apa
+from repro.net.units import to_ms
+from repro.net.zoo import (
+    cogent_like,
+    generate_zoo,
+    globalcenter_like,
+    google_like,
+    gts_like,
+    network_diameter_s,
+)
+
+
+def sparkline(values: np.ndarray, bins: int = 10) -> str:
+    """A ten-character histogram of APA values in [0, 1]."""
+    blocks = " .:-=+*#%@"
+    histogram, _ = np.histogram(values, bins=bins, range=(0.0, 1.0))
+    peak = histogram.max() if histogram.max() > 0 else 1
+    return "".join(blocks[int(9 * count / peak)] for count in histogram)
+
+
+def describe(network, params) -> tuple:
+    apa = apa_all_pairs(network, params)
+    cdf = apa_cdf(apa)
+    return llpd_from_apa(apa), cdf
+
+
+def main() -> None:
+    params = ApaParameters()
+    print(f"{'network':>32s} {'PoPs':>5s} {'diam':>7s} {'LLPD':>6s}  "
+          f"APA histogram (0 -> 1)")
+    rows = []
+    for network in generate_zoo(16, seed=1, include_named=False):
+        value, cdf = describe(network, params)
+        rows.append((value, network, cdf))
+    for value, network, cdf in sorted(rows, key=lambda row: row[0]):
+        diameter_ms = to_ms(network_diameter_s(network))
+        print(
+            f"{network.name:>32s} {network.num_nodes:>5d} "
+            f"{diameter_ms:>5.1f}ms {value:>6.3f}  [{sparkline(cdf)}]"
+        )
+
+    print("\nNamed replicas (the paper's reference points):")
+    for network in (gts_like(), cogent_like(), globalcenter_like(), google_like()):
+        value, cdf = describe(network, params)
+        print(
+            f"{network.name:>32s} {network.num_nodes:>5d} "
+            f"{to_ms(network_diameter_s(network)):>5.1f}ms {value:>6.3f}  "
+            f"[{sparkline(cdf)}]"
+        )
+    print(
+        "\nReading the histograms: mass at the right edge means most PoP "
+        "pairs can route around most of their shortest-path links within "
+        "a 1.4x stretch — the topology is low-latency-capable.  Tree-like "
+        "networks pile up at the left edge; rings sit in the middle; the "
+        "Google-like WAN is almost entirely at the right."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Experiment harness: workloads, runners and per-figure entry points.
+
+Shared by the benchmark suite (one bench per paper figure) and the example
+scripts.  :mod:`repro.experiments.workloads` builds (network, traffic
+matrix ensemble) pairs; :mod:`repro.experiments.runner` evaluates routing
+schemes over them; :mod:`repro.experiments.figures` computes each paper
+figure's series; :mod:`repro.experiments.render` prints them as text.
+"""
+
+from repro.experiments.workloads import ZooWorkload, build_zoo_workload
+from repro.experiments.runner import SchemeOutcome, evaluate_scheme
+
+__all__ = [
+    "ZooWorkload",
+    "build_zoo_workload",
+    "SchemeOutcome",
+    "evaluate_scheme",
+]

@@ -1,0 +1,156 @@
+"""Command-line runner: regenerate a paper figure from the terminal.
+
+Usage::
+
+    python -m repro.experiments fig03 [--networks 18] [--tms 2]
+    python -m repro.experiments list
+
+Benchmarks under ``benchmarks/`` do the same with timing and shape
+assertions; this entry point is the quick, dependency-free way to look at
+one figure's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def build_workload(args, growth_factor: float = 1.3):
+    from repro.experiments.workloads import build_zoo_workload
+
+    return build_zoo_workload(
+        n_networks=args.networks,
+        n_matrices=args.tms,
+        locality=1.0,
+        growth_factor=growth_factor,
+        seed=args.seed,
+    )
+
+
+def run_fig01(args) -> str:
+    from repro.experiments.figures import fig01_apa_cdfs
+    from repro.experiments.render import render_cdf
+
+    workload = build_workload(args)
+    curves = fig01_apa_cdfs([item.network for item in workload.networks])
+    return "\n\n".join(
+        render_cdf(f"APA: {name}", cdf) for name, cdf in sorted(curves.items())
+    )
+
+
+def run_fig03(args) -> str:
+    from repro.experiments.figures import fig03_sp_congestion
+    from repro.experiments.render import render_series
+
+    result = fig03_sp_congestion(build_workload(args))
+    return render_series(
+        "Fig 3: congested fraction vs LLPD (SP)", result, x_label="LLPD"
+    )
+
+
+def run_fig04(args) -> str:
+    from repro.experiments.figures import fig04_schemes
+    from repro.experiments.render import render_series
+
+    results = fig04_schemes(build_workload(args))
+    series = {}
+    for scheme, data in results.items():
+        series[f"{scheme}:cong"] = data["congestion_median"]
+        series[f"{scheme}:stretch"] = data["stretch_median"]
+    return render_series("Fig 4: schemes vs LLPD", series, x_label="LLPD")
+
+
+def run_fig07(args) -> str:
+    from repro.experiments.figures import fig07_utilization_cdf
+    from repro.experiments.render import render_cdf
+    from repro.experiments.workloads import build_traffic_matrices
+    from repro.net.zoo import gts_like
+
+    network = gts_like()
+    tm = build_traffic_matrices(
+        network, 1, np.random.default_rng(args.seed), 1.0, 1.3
+    )[0]
+    result = fig07_utilization_cdf(network, tm)
+    return "\n\n".join(
+        render_cdf(name, values) for name, values in result.items()
+    )
+
+
+def run_fig08(args) -> str:
+    from repro.experiments.figures import fig08_headroom_sweep
+    from repro.experiments.render import render_series
+
+    results = fig08_headroom_sweep(build_workload(args, growth_factor=1.65))
+    return render_series(
+        "Fig 8: stretch vs LLPD per headroom",
+        {f"h={h:.0%}": points for h, points in results.items()},
+        x_label="LLPD",
+    )
+
+
+def run_fig09(args) -> str:
+    from repro.experiments.figures import fig09_prediction_ratios
+    from repro.experiments.render import render_cdf
+    from repro.traces import trace_ensemble
+
+    traces = trace_ensemble(
+        8, np.random.default_rng(args.seed), minutes=30, sample_ms=100
+    )
+    ratios = fig09_prediction_ratios(traces, 600)
+    return render_cdf("Fig 9: measured/predicted", ratios)
+
+
+def run_fig10(args) -> str:
+    from repro.experiments.figures import fig10_sigma_scatter
+    from repro.experiments.render import render_scatter_summary
+    from repro.traces import trace_ensemble
+
+    traces = trace_ensemble(
+        6, np.random.default_rng(args.seed), minutes=15, sample_ms=10
+    )
+    points = fig10_sigma_scatter(traces, 6000)
+    return render_scatter_summary("Fig 10: sigma(t) vs sigma(t+1)", points)
+
+
+RUNNERS = {
+    "fig01": run_fig01,
+    "fig03": run_fig03,
+    "fig04": run_fig04,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig03) or 'list' to enumerate available ones",
+    )
+    parser.add_argument("--networks", type=int, default=12)
+    parser.add_argument("--tms", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        print("available:", ", ".join(sorted(RUNNERS)))
+        print("(figures 15-20 run via pytest benchmarks/ --benchmark-only)")
+        return 0
+    runner = RUNNERS.get(args.figure)
+    if runner is None:
+        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+        return 2
+    print(runner(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,418 @@
+"""One entry point per paper figure.
+
+Every function returns plain data (lists/dicts of numbers) so that the
+benchmark harness can both assert on the *shape* of the result (who wins,
+where crossovers fall) and print the same series the paper plots.  Figure
+numbering follows the paper:
+
+====== ==============================================================
+Fig 1  CDFs of APA per network (stretch limit 1.4)
+Fig 3  congested-pair fraction vs LLPD under shortest-path routing
+Fig 4  congestion + latency stretch vs LLPD for Optimal/B4/MinMax/K10
+Fig 7  link-utilization CDF, latency-optimal vs MinMax, GTS median TM
+Fig 8  median delay change vs LLPD as headroom grows (lighter load)
+Fig 9  CDF of measured/predicted rate ratios (Algorithm 1)
+Fig 10 sigma(t) vs sigma(t+1) scatter
+Fig 15 runtime: iterative path LP (warm/cold cache) vs link-based LP
+Fig 16 CDFs of max path stretch by LLPD class and headroom
+Fig 17 median max stretch vs load (high-LLPD networks)
+Fig 18 median max stretch vs locality
+Fig 19 Fig 3 plus a Google-like topology
+Fig 20 latency stretch before/after LLPD-guided growth
+====== ==============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import ApaParameters, apa_all_pairs, apa_cdf, llpd
+from repro.experiments.runner import evaluate_scheme, per_network_quantiles
+from repro.experiments.workloads import (
+    NetworkWorkload,
+    ZooWorkload,
+    build_traffic_matrices,
+)
+from repro.net.graph import Network
+from repro.net.paths import KspCache
+from repro.routing import (
+    B4Routing,
+    LatencyOptimalRouting,
+    MinMaxRouting,
+    ShortestPathRouting,
+)
+from repro.tm import TrafficMatrix, scale_to_growth_headroom
+
+
+def scheme_factories(
+    headroom: float = 0.0,
+) -> Dict[str, Callable[[NetworkWorkload], object]]:
+    """The paper's four active schemes, sharing each network's KSP cache.
+
+    LDR's placement engine is the latency-optimal LP with headroom; the
+    full controller (prediction + multiplexing) lives in
+    :mod:`repro.core.ldr` and is exercised separately.
+    """
+    return {
+        "B4": lambda item: B4Routing(headroom=headroom, cache=item.cache),
+        "LDR": lambda item: LatencyOptimalRouting(
+            headroom=headroom, cache=item.cache
+        ),
+        "MinMax": lambda item: MinMaxRouting(cache=item.cache),
+        "MinMaxK10": lambda item: MinMaxRouting(k=10, cache=item.cache),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+def fig01_apa_cdfs(
+    networks: Sequence[Network], params: ApaParameters = ApaParameters()
+) -> Dict[str, np.ndarray]:
+    """Per-network sorted APA values (each is one CDF curve of Figure 1)."""
+    return {
+        network.name: apa_cdf(apa_all_pairs(network, params))
+        for network in networks
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 3 and 19
+# ----------------------------------------------------------------------
+def fig03_sp_congestion(workload: ZooWorkload) -> Dict[str, List[Tuple[float, float]]]:
+    """Median and 90th-percentile congested-pair fraction vs LLPD (SP)."""
+    outcomes = evaluate_scheme(
+        lambda item: ShortestPathRouting(item.cache), workload
+    )
+    return {
+        "median": per_network_quantiles(outcomes, "congested_fraction", 0.5),
+        "p90": per_network_quantiles(outcomes, "congested_fraction", 0.9),
+    }
+
+
+def fig19_google(workload_with_google: ZooWorkload) -> Dict[str, List[Tuple[float, float]]]:
+    """Same as Figure 3 but the workload includes a Google-like network."""
+    return fig03_sp_congestion(workload_with_google)
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+def fig04_schemes(
+    workload: ZooWorkload,
+    schemes: Optional[Dict[str, Callable[[NetworkWorkload], object]]] = None,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Congestion and latency stretch vs LLPD for each active scheme."""
+    if schemes is None:
+        schemes = scheme_factories(headroom=0.0)
+    results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name, factory in schemes.items():
+        outcomes = evaluate_scheme(factory, workload)
+        results[name] = {
+            "congestion_median": per_network_quantiles(
+                outcomes, "congested_fraction", 0.5
+            ),
+            "congestion_p90": per_network_quantiles(
+                outcomes, "congested_fraction", 0.9
+            ),
+            "stretch_median": per_network_quantiles(
+                outcomes, "latency_stretch", 0.5
+            ),
+            "stretch_p90": per_network_quantiles(outcomes, "latency_stretch", 0.9),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+def fig07_utilization_cdf(
+    network: Network, tm: TrafficMatrix, cache: Optional[KspCache] = None
+) -> Dict[str, np.ndarray]:
+    """Sorted link utilizations under latency-optimal and MinMax routing."""
+    cache = cache or KspCache(network)
+    optimal = LatencyOptimalRouting(cache=cache).place(network, tm)
+    minmax = MinMaxRouting(cache=cache).place(network, tm)
+    return {
+        "latency_optimal": np.sort(
+            np.fromiter(optimal.link_utilizations().values(), dtype=float)
+        ),
+        "minmax": np.sort(
+            np.fromiter(minmax.link_utilizations().values(), dtype=float)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+def fig08_headroom_sweep(
+    workload: ZooWorkload,
+    headrooms: Sequence[float] = (0.0, 0.11, 0.23, 0.40),
+) -> Dict[float, List[Tuple[float, float]]]:
+    """Median latency stretch vs LLPD for each headroom setting.
+
+    The paper runs this on a lighter load (min-cut at 60%, growth 1.65) so
+    even 40% headroom remains feasible; pass a workload built with
+    ``growth_factor=1.65``.
+    """
+    results: Dict[float, List[Tuple[float, float]]] = {}
+    for headroom in headrooms:
+        outcomes = evaluate_scheme(
+            lambda item, h=headroom: LatencyOptimalRouting(
+                headroom=h, cache=item.cache
+            ),
+            workload,
+        )
+        results[headroom] = per_network_quantiles(outcomes, "latency_stretch", 0.5)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figures 9 and 10
+# ----------------------------------------------------------------------
+def fig09_prediction_ratios(traces: Sequence[np.ndarray],
+                            samples_per_minute: int) -> np.ndarray:
+    """Sorted measured/predicted ratios pooled across traces."""
+    from repro.core.prediction import prediction_ratios
+    from repro.traces.stats import minute_means
+
+    ratios: List[np.ndarray] = []
+    for trace in traces:
+        means = minute_means(trace, samples_per_minute)
+        ratios.append(prediction_ratios(means))
+    return np.sort(np.concatenate(ratios))
+
+
+def fig10_sigma_scatter(
+    traces: Sequence[np.ndarray], samples_per_minute: int
+) -> List[Tuple[float, float]]:
+    """(sigma_t, sigma_{t+1}) pairs pooled across traces."""
+    from repro.traces.stats import minute_sigma_pairs
+
+    points: List[Tuple[float, float]] = []
+    for trace in traces:
+        points.extend(minute_sigma_pairs(trace, samples_per_minute))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 15
+# ----------------------------------------------------------------------
+def fig15_runtimes(
+    items: Sequence[NetworkWorkload],
+    include_link_based: bool = True,
+) -> Dict[str, List[float]]:
+    """Wall-clock runtimes (seconds) of the three optimizers.
+
+    "LDR" solves with a pre-warmed k-shortest-path cache, "cold cache"
+    without, and "link-based" is the monolithic node-arc LP.
+    """
+    from repro.routing.linkbased import LinkBasedOptimalRouting
+    from repro.routing.optimal import solve_iterative_latency
+
+    times: Dict[str, List[float]] = {"ldr": [], "ldr_cold": [], "link_based": []}
+    for item in items:
+        tm = item.matrices[0]
+
+        cold_cache = KspCache(item.network)
+        start = time.perf_counter()
+        solve_iterative_latency(item.network, tm, cache=cold_cache)
+        times["ldr_cold"].append(time.perf_counter() - start)
+
+        # Warm run: reuse the now-populated cache.
+        start = time.perf_counter()
+        solve_iterative_latency(item.network, tm, cache=cold_cache)
+        times["ldr"].append(time.perf_counter() - start)
+
+        if include_link_based:
+            scheme = LinkBasedOptimalRouting()
+            start = time.perf_counter()
+            scheme.place(item.network, tm)
+            times["link_based"].append(time.perf_counter() - start)
+    return times
+
+
+# ----------------------------------------------------------------------
+# Figure 16
+# ----------------------------------------------------------------------
+def fig16_max_stretch_cdfs(
+    workload: ZooWorkload,
+    llpd_split: float = 0.5,
+    headrooms: Sequence[float] = (0.0, 0.10),
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Max-path-stretch CDism data per (LLPD class, headroom, scheme).
+
+    Returns ``result[class_key][scheme] = {"stretches": sorted list of max
+    path stretch over routable cases, "unroutable_fraction": float}``, with
+    class keys ``low_h0``, ``high_h0`` and ``high_h10`` as in the paper's
+    Figures 16(a)-(c).
+    """
+    low = ZooWorkload(
+        networks=[w for w in workload.networks if w.llpd < llpd_split],
+        locality=workload.locality,
+        growth_factor=workload.growth_factor,
+    )
+    high = ZooWorkload(
+        networks=[w for w in workload.networks if w.llpd >= llpd_split],
+        locality=workload.locality,
+        growth_factor=workload.growth_factor,
+    )
+    cases = {
+        "low_h0": (low, headrooms[0]),
+        "high_h0": (high, headrooms[0]),
+        "high_h10": (high, headrooms[1]),
+    }
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for key, (subset, headroom) in cases.items():
+        results[key] = {}
+        for name, factory in scheme_factories(headroom=headroom).items():
+            outcomes = evaluate_scheme(factory, subset)
+            routable = [o.max_path_stretch for o in outcomes if o.fits]
+            unroutable = sum(1 for o in outcomes if not o.fits)
+            results[key][name] = {
+                "stretches": sorted(routable),
+                "unroutable_fraction": (
+                    unroutable / len(outcomes) if outcomes else 0.0
+                ),
+            }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 17
+# ----------------------------------------------------------------------
+def fig17_load_sweep(
+    items: Sequence[NetworkWorkload],
+    loads: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Median max flow stretch vs min-cut load, high-LLPD networks.
+
+    Base matrices are rescaled per target load (growth = 1/load).
+    """
+    results: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in scheme_factories()
+    }
+    for load in loads:
+        per_scheme: Dict[str, List[float]] = {name: [] for name in results}
+        for item in items:
+            for tm in item.matrices:
+                rescaled = scale_to_growth_headroom(
+                    item.network, tm, 1.0 / load
+                )
+                for name, factory in scheme_factories().items():
+                    placement = factory(item).place(item.network, rescaled)
+                    per_scheme[name].append(placement.max_path_stretch())
+        for name, values in per_scheme.items():
+            results[name].append((load, float(np.median(values))))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 18
+# ----------------------------------------------------------------------
+def fig18_locality_sweep(
+    networks: Sequence[Network],
+    localities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    n_matrices: int = 2,
+    growth_factor: float = 1.3,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Median max flow stretch vs traffic locality.
+
+    The base gravity matrix is scaled to the target load *first* and
+    locality is applied to the scaled matrix.  This matches the paper's
+    described dynamics: "a locality parameter of zero tends to load long
+    distance links more, whereas localities above one tend to load local
+    links more" and large localities "under-load long-distance links" —
+    effects that only exist if the load normalization is not re-done per
+    locality value (which would re-inflate whatever the locality shift
+    relieved).
+    """
+    from repro.tm import apply_locality, gravity_traffic_matrix, scale_to_growth_headroom
+
+    results: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in scheme_factories()
+    }
+    rng = np.random.default_rng(seed)
+    caches = {network.name: KspCache(network) for network in networks}
+    bases: List[Tuple[Network, TrafficMatrix]] = []
+    for network in networks:
+        for _ in range(n_matrices):
+            base = gravity_traffic_matrix(network, rng)
+            base = scale_to_growth_headroom(network, base, growth_factor)
+            bases.append((network, base))
+    for locality in localities:
+        per_scheme: Dict[str, List[float]] = {name: [] for name in results}
+        for network, base in bases:
+            tm = apply_locality(network, base, locality)
+            item = NetworkWorkload(
+                network=network,
+                llpd=0.0,  # not needed for this sweep
+                matrices=[tm],
+                cache=caches[network.name],
+            )
+            for name, factory in scheme_factories().items():
+                placement = factory(item).place(network, tm)
+                per_scheme[name].append(placement.max_path_stretch())
+        for name, values in per_scheme.items():
+            results[name].append((locality, float(np.median(values))))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 20
+# ----------------------------------------------------------------------
+def fig20_growth_benefit(
+    items: Sequence[NetworkWorkload],
+    growth_fraction: float = 0.05,
+    max_candidates: int = 20,
+    apa_params: ApaParameters = ApaParameters(),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Latency stretch before/after LLPD-guided link additions.
+
+    Returns per scheme the (before, after) latency-stretch pairs: medians
+    and 90th percentiles across each network's traffic matrices.
+    """
+    from repro.net.mutate import grow_by_llpd
+
+    results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {
+        name: {"median": [], "p90": []} for name in scheme_factories()
+    }
+    for item in items:
+        grown_network, _ = grow_by_llpd(
+            item.network,
+            score=lambda net: llpd(net, apa_params),
+            growth_fraction=growth_fraction,
+            max_candidates=max_candidates,
+        )
+        grown_item = NetworkWorkload(
+            network=grown_network, llpd=item.llpd, matrices=item.matrices
+        )
+        for name, factory in scheme_factories().items():
+            before: List[float] = []
+            after: List[float] = []
+            for tm in item.matrices:
+                before.append(
+                    factory(item)
+                    .place(item.network, tm)
+                    .total_latency_stretch()
+                )
+                after.append(
+                    factory(grown_item)
+                    .place(grown_network, tm)
+                    .total_latency_stretch()
+                )
+            results[name]["median"].append(
+                (float(np.median(before)), float(np.median(after)))
+            )
+            results[name]["p90"].append(
+                (
+                    float(np.quantile(before, 0.9)),
+                    float(np.quantile(after, 0.9)),
+                )
+            )
+    return results

@@ -1,0 +1,83 @@
+"""Evaluate routing schemes over workloads and collect the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.workloads import NetworkWorkload, ZooWorkload
+from repro.routing.base import Placement, RoutingScheme
+from repro.tm.matrix import TrafficMatrix
+
+
+@dataclass
+class SchemeOutcome:
+    """Metrics of one scheme on one (network, traffic matrix) pair."""
+
+    network_name: str
+    llpd: float
+    congested_fraction: float
+    latency_stretch: float
+    max_path_stretch: float
+    max_utilization: float
+    fits: bool
+
+
+def evaluate_scheme(
+    scheme_factory: Callable[[NetworkWorkload], RoutingScheme],
+    workload: ZooWorkload,
+    matrices_per_network: Optional[int] = None,
+) -> List[SchemeOutcome]:
+    """Run a scheme across the whole workload.
+
+    ``scheme_factory`` receives the per-network workload so schemes can
+    share its KSP cache; a fresh scheme per network keeps state clean.
+    """
+    outcomes: List[SchemeOutcome] = []
+    for item in workload.networks:
+        matrices = item.matrices
+        if matrices_per_network is not None:
+            matrices = matrices[:matrices_per_network]
+        scheme = scheme_factory(item)
+        for tm in matrices:
+            placement = scheme.place(item.network, tm)
+            outcomes.append(
+                SchemeOutcome(
+                    network_name=item.network.name,
+                    llpd=item.llpd,
+                    congested_fraction=placement.congested_pair_fraction(),
+                    latency_stretch=placement.total_latency_stretch(),
+                    max_path_stretch=placement.max_path_stretch(),
+                    max_utilization=placement.max_utilization(),
+                    fits=placement.fits_all_traffic,
+                )
+            )
+    return outcomes
+
+
+def per_network_quantiles(
+    outcomes: Sequence[SchemeOutcome],
+    metric: str,
+    quantile: float,
+) -> List[tuple]:
+    """(llpd, quantile-of-metric) per network, sorted by LLPD.
+
+    This is the shape of the paper's Figures 3 and 4: networks on the
+    x-axis ordered by LLPD, a per-network quantile across traffic matrices
+    on the y-axis.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    by_network: Dict[str, List[SchemeOutcome]] = {}
+    for outcome in outcomes:
+        by_network.setdefault(outcome.network_name, []).append(outcome)
+    points = []
+    for network_outcomes in by_network.values():
+        values = [getattr(o, metric) for o in network_outcomes]
+        points.append(
+            (network_outcomes[0].llpd, float(np.quantile(values, quantile)))
+        )
+    points.sort()
+    return points

@@ -1,0 +1,27 @@
+"""Linear programming substrate.
+
+A small modelling layer over :func:`scipy.optimize.linprog` (HiGHS).  The
+paper's optimizations — the latency-optimal path LP (its Figure 12), the
+MinMax two-stage LPs, the locality redistribution LP and the traffic-matrix
+scaler — are all built on this.
+"""
+
+from repro.lp.model import (
+    Constraint,
+    InfeasibleError,
+    LinearProgram,
+    LinExpr,
+    Solution,
+    UnboundedError,
+    Variable,
+)
+
+__all__ = [
+    "Constraint",
+    "InfeasibleError",
+    "LinearProgram",
+    "LinExpr",
+    "Solution",
+    "UnboundedError",
+    "Variable",
+]

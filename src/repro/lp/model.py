@@ -1,0 +1,245 @@
+"""A minimal LP modelling layer over scipy's HiGHS backend.
+
+Design goals, in order: correctness, fast model assembly (sparse matrices
+built from coordinate lists, no per-coefficient Python object churn beyond
+plain tuples), and a small, explicit API::
+
+    lp = LinearProgram()
+    x = lp.variable("x", lower=0.0)
+    y = lp.variable("y", lower=0.0)
+    lp.add_constraint(LinExpr({x: 1.0, y: 2.0}), "<=", 10.0)
+    lp.minimize(LinExpr({x: -1.0, y: -1.0}))
+    solution = lp.solve()
+    solution.value(x)
+
+Only what the routing formulations need is implemented: continuous
+variables, <= / >= / == constraints and a linear objective (minimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+
+class InfeasibleError(Exception):
+    """The LP has no feasible point."""
+
+
+class UnboundedError(Exception):
+    """The LP objective is unbounded below."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A handle to one LP column."""
+
+    index: int
+    name: str
+
+    def __mul__(self, coefficient: float) -> "LinExpr":
+        return LinExpr({self: float(coefficient)})
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Union["Variable", "LinExpr"]) -> "LinExpr":
+        return LinExpr({self: 1.0}) + other
+
+
+class LinExpr:
+    """A linear expression: a mapping from variables to coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Mapping[Variable, float]] = None) -> None:
+        self.terms: Dict[Variable, float] = dict(terms) if terms else {}
+
+    def add_term(self, variable: Variable, coefficient: float) -> "LinExpr":
+        """Accumulate ``coefficient * variable`` in place (returns self)."""
+        self.terms[variable] = self.terms.get(variable, 0.0) + float(coefficient)
+        return self
+
+    def __add__(self, other: Union["LinExpr", Variable]) -> "LinExpr":
+        result = LinExpr(self.terms)
+        if isinstance(other, Variable):
+            result.add_term(other, 1.0)
+        else:
+            for variable, coefficient in other.terms.items():
+                result.add_term(variable, coefficient)
+        return result
+
+    def __mul__(self, scalar: float) -> "LinExpr":
+        return LinExpr(
+            {variable: coefficient * scalar for variable, coefficient in self.terms.items()}
+        )
+
+    __rmul__ = __mul__
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        return " ".join(parts) if parts else "0"
+
+
+@dataclass
+class Constraint:
+    """One row of the LP: ``expr sense rhs``."""
+
+    expr: LinExpr
+    sense: str
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unknown constraint sense {self.sense!r}")
+
+
+@dataclass
+class Solution:
+    """A solved LP: objective value plus the primal point."""
+
+    objective: float
+    _values: np.ndarray
+
+    def value(self, variable: Variable) -> float:
+        return float(self._values[variable.index])
+
+    def values(self, variables: Iterable[Variable]) -> List[float]:
+        return [self.value(variable) for variable in variables]
+
+
+class LinearProgram:
+    """An LP under construction.
+
+    Variables default to being non-negative and unbounded above, which is
+    the natural domain for flow fractions, loads and overloads.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._lower: List[float] = []
+        self._upper: List[Optional[float]] = []
+        self._constraints: List[Constraint] = []
+        self._objective: Optional[LinExpr] = None
+
+    # ------------------------------------------------------------------
+    # Model building
+    # ------------------------------------------------------------------
+    def variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+    ) -> Variable:
+        """Create a continuous variable with the given bounds."""
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {name!r}: upper {upper} < lower {lower}")
+        index = len(self._names)
+        self._names.append(name)
+        self._lower.append(float(lower))
+        self._upper.append(None if upper is None else float(upper))
+        return Variable(index, name)
+
+    def variables(
+        self, prefix: str, count: int, lower: float = 0.0, upper: Optional[float] = None
+    ) -> List[Variable]:
+        """Create ``count`` variables named ``prefix[i]``."""
+        return [self.variable(f"{prefix}[{i}]", lower, upper) for i in range(count)]
+
+    def add_constraint(
+        self, expr: Union[LinExpr, Variable], sense: str, rhs: float
+    ) -> Constraint:
+        if isinstance(expr, Variable):
+            expr = LinExpr({expr: 1.0})
+        constraint = Constraint(expr, sense, float(rhs))
+        self._constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: LinExpr) -> None:
+        self._objective = expr
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self) -> Solution:
+        """Solve with HiGHS; raises on infeasible/unbounded models."""
+        if self._objective is None:
+            raise ValueError("no objective set; call minimize() first")
+        n = self.num_variables
+        c = np.zeros(n)
+        for variable, coefficient in self._objective.terms.items():
+            c[variable.index] += coefficient
+
+        ub_rows: List[Tuple[LinExpr, float, float]] = []  # (expr, sign, rhs)
+        eq_rows: List[Tuple[LinExpr, float]] = []
+        for constraint in self._constraints:
+            if constraint.sense == "<=":
+                ub_rows.append((constraint.expr, 1.0, constraint.rhs))
+            elif constraint.sense == ">=":
+                ub_rows.append((constraint.expr, -1.0, -constraint.rhs))
+            else:
+                eq_rows.append((constraint.expr, constraint.rhs))
+
+        a_ub, b_ub = _assemble(ub_rows, n)
+        a_eq, b_eq = _assemble([(expr, rhs) for expr, rhs in eq_rows], n, signed=False)
+
+        bounds = list(zip(self._lower, self._upper))
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleError("LP is infeasible")
+        if result.status == 3:
+            raise UnboundedError("LP is unbounded")
+        if not result.success:  # pragma: no cover - solver failure
+            raise RuntimeError(f"solver failed: {result.message}")
+        return Solution(float(result.fun), np.asarray(result.x))
+
+
+def _assemble(
+    rows: List, n: int, signed: bool = True
+) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray]]:
+    """Build a sparse constraint matrix from (expr[, sign], rhs) rows."""
+    if not rows:
+        return None, None
+    data: List[float] = []
+    row_idx: List[int] = []
+    col_idx: List[int] = []
+    rhs_values: List[float] = []
+    for i, row in enumerate(rows):
+        if signed:
+            expr, sign, rhs = row
+        else:
+            expr, rhs = row
+            sign = 1.0
+        rhs_values.append(rhs)
+        for variable, coefficient in expr.terms.items():
+            if coefficient == 0.0:
+                continue
+            data.append(sign * coefficient)
+            row_idx.append(i)
+            col_idx.append(variable.index)
+    matrix = sparse.csr_matrix(
+        (data, (row_idx, col_idx)), shape=(len(rows), n)
+    )
+    return matrix, np.asarray(rhs_values)

@@ -1,0 +1,73 @@
+"""Geographic helpers.
+
+The paper derives link propagation delays from PoP geography (the Topology
+Zoo augmented with computed link latencies).  We do the same for the
+synthetic zoo: PoPs carry latitude/longitude, and a link's propagation delay
+is its great-circle length divided by the speed of light in fibre.
+"""
+
+from __future__ import annotations
+
+import math
+
+EARTH_RADIUS_KM = 6371.0
+
+# Speed of light in fibre is roughly two thirds of c; 200,000 km/s is the
+# conventional engineering figure for WAN latency estimation.
+FIBRE_SPEED_KM_PER_S = 200_000.0
+
+# Real fibre paths are never great circles; a routing factor inflates the
+# geodesic distance to account for conduit detours.
+DEFAULT_ROUTE_FACTOR = 1.2
+
+
+def great_circle_km(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """Great-circle distance between two points, in kilometres.
+
+    Uses the haversine formula, which is numerically stable for the small
+    and medium distances that dominate backbone topologies.
+    """
+    lat1 = math.radians(lat1_deg)
+    lon1 = math.radians(lon1_deg)
+    lat2 = math.radians(lat2_deg)
+    lon2 = math.radians(lon2_deg)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * (
+        math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def propagation_delay_s(
+    distance_km: float, route_factor: float = DEFAULT_ROUTE_FACTOR
+) -> float:
+    """One-way propagation delay for a fibre span of the given length.
+
+    ``route_factor`` inflates the geodesic distance to model the fact that
+    fibre follows roads and seabed contours rather than great circles.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    if route_factor < 1.0:
+        raise ValueError(f"route factor must be >= 1, got {route_factor}")
+    return distance_km * route_factor / FIBRE_SPEED_KM_PER_S
+
+
+def link_delay_s(
+    lat1_deg: float,
+    lon1_deg: float,
+    lat2_deg: float,
+    lon2_deg: float,
+    route_factor: float = DEFAULT_ROUTE_FACTOR,
+    min_delay_s: float = 50e-6,
+) -> float:
+    """Propagation delay between two PoPs given their coordinates.
+
+    ``min_delay_s`` puts a floor under very short metro links, which in
+    practice never have truly zero delay (equipment and tail circuits).
+    """
+    distance = great_circle_km(lat1_deg, lon1_deg, lat2_deg, lon2_deg)
+    return max(min_delay_s, propagation_delay_s(distance, route_factor))

@@ -1,0 +1,242 @@
+"""Shortest paths and k-shortest paths.
+
+Routing in the paper is delay-based throughout, so all algorithms here use
+link propagation delay as the edge weight.  The k-shortest-paths routine is
+Yen's algorithm [Yen 1970], exposed both as a lazy generator and through
+:class:`KspCache`.  The paper notes that in its LDR system "the bottleneck
+is not the linear optimizer, but the k shortest paths algorithm, the results
+of which can be readily cached" — the cache class is that optimization, and
+the cold/warm cache distinction is what its Figure 15 measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.net.graph import Network
+
+Path = Tuple[str, ...]
+
+
+class NoPathError(Exception):
+    """Raised when no path exists between the requested endpoints."""
+
+
+def path_links(path: Sequence[str]) -> List[Tuple[str, str]]:
+    """Directed link keys traversed by a path."""
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def path_delay_s(network: Network, path: Sequence[str]) -> float:
+    """Total propagation delay of a path."""
+    return sum(network.link(u, v).delay_s for u, v in path_links(path))
+
+
+def path_bottleneck_bps(network: Network, path: Sequence[str]) -> float:
+    """Capacity of the most constrained link on a path."""
+    links = path_links(path)
+    if not links:
+        raise ValueError("bottleneck of an empty path is undefined")
+    return min(network.link(u, v).capacity_bps for u, v in links)
+
+
+def is_simple(path: Sequence[str]) -> bool:
+    """True if the path visits no node twice."""
+    return len(set(path)) == len(path)
+
+
+# ----------------------------------------------------------------------
+# Dijkstra
+# ----------------------------------------------------------------------
+def shortest_path(
+    network: Network,
+    src: str,
+    dst: str,
+    excluded_links: Optional[Set[Tuple[str, str]]] = None,
+    excluded_nodes: Optional[Set[str]] = None,
+) -> Path:
+    """Lowest-delay path from ``src`` to ``dst``.
+
+    ``excluded_links`` and ``excluded_nodes`` support Yen's spur-path
+    computation and APA's route-around queries without copying the graph.
+
+    Raises :class:`NoPathError` when the destination is unreachable.
+    """
+    if src == dst:
+        raise ValueError("source and destination must differ")
+    dist, parent = _dijkstra(network, src, dst, excluded_links, excluded_nodes)
+    if dst not in dist:
+        raise NoPathError(f"no path {src} -> {dst}")
+    return _extract(parent, src, dst)
+
+
+def shortest_path_delays(network: Network, src: str) -> Dict[str, float]:
+    """Delays of the lowest-delay paths from ``src`` to every reachable node."""
+    dist, _ = _dijkstra(network, src, None, None, None)
+    dist.pop(src, None)
+    return dist
+
+
+def all_pairs_shortest_paths(network: Network) -> Dict[Tuple[str, str], Path]:
+    """Lowest-delay path for every connected ordered node pair."""
+    paths: Dict[Tuple[str, str], Path] = {}
+    for src in network.node_names:
+        _, parent = _dijkstra(network, src, None, None, None)
+        for dst in network.node_names:
+            if dst != src and dst in parent:
+                paths[(src, dst)] = _extract(parent, src, dst)
+    return paths
+
+
+def _dijkstra(
+    network: Network,
+    src: str,
+    dst: Optional[str],
+    excluded_links: Optional[Set[Tuple[str, str]]],
+    excluded_nodes: Optional[Set[str]],
+) -> Tuple[Dict[str, float], Dict[str, str]]:
+    if src not in network:
+        raise KeyError(f"unknown node {src!r}")
+    if excluded_nodes and src in excluded_nodes:
+        return {}, {}
+    dist: Dict[str, float] = {src: 0.0}
+    parent: Dict[str, str] = {}
+    done: Set[str] = set()
+    heap: List[Tuple[float, str]] = [(0.0, src)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        if node == dst:
+            break
+        for link in network.out_links(node):
+            nbr = link.dst
+            if nbr in done:
+                continue
+            if excluded_nodes and nbr in excluded_nodes:
+                continue
+            if excluded_links and (node, nbr) in excluded_links:
+                continue
+            nd = d + link.delay_s
+            if nd < dist.get(nbr, float("inf")):
+                dist[nbr] = nd
+                parent[nbr] = node
+                heapq.heappush(heap, (nd, nbr))
+    return dist, parent
+
+
+def _extract(parent: Dict[str, str], src: str, dst: str) -> Path:
+    path = [dst]
+    while path[-1] != src:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+# ----------------------------------------------------------------------
+# Yen's k shortest loopless paths
+# ----------------------------------------------------------------------
+def k_shortest_paths(network: Network, src: str, dst: str) -> Iterator[Path]:
+    """Lazily yield simple paths from ``src`` to ``dst`` in non-decreasing
+    delay order (Yen's algorithm).
+
+    The generator yields nothing if the endpoints are disconnected, and
+    stops once every simple path has been produced.
+    """
+    try:
+        first = shortest_path(network, src, dst)
+    except NoPathError:
+        return
+    yield first
+
+    produced: List[Path] = [first]
+    # Candidate heap entries: (delay, path).  A set of already-queued paths
+    # avoids duplicate candidates, which Yen's algorithm generates freely.
+    candidates: List[Tuple[float, Path]] = []
+    queued: Set[Path] = {first}
+
+    while True:
+        prev = produced[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            root_delay = path_delay_s(network, root) if i > 0 else 0.0
+
+            excluded_links: Set[Tuple[str, str]] = set()
+            for existing in produced:
+                if len(existing) > i and existing[: i + 1] == root:
+                    excluded_links.add((existing[i], existing[i + 1]))
+            excluded_nodes = set(root[:-1])
+
+            try:
+                spur = shortest_path(
+                    network,
+                    spur_node,
+                    dst,
+                    excluded_links=excluded_links,
+                    excluded_nodes=excluded_nodes,
+                )
+            except NoPathError:
+                continue
+            candidate = root[:-1] + spur
+            if candidate in queued:
+                continue
+            queued.add(candidate)
+            heapq.heappush(
+                candidates, (root_delay + path_delay_s(network, spur), candidate)
+            )
+
+        if not candidates:
+            return
+        _, best = heapq.heappop(candidates)
+        produced.append(best)
+        yield best
+
+
+class KspCache:
+    """Caches k-shortest-path computations for one (immutable) network.
+
+    The cache keeps, per node pair, the lazy Yen generator plus every path
+    it has produced so far, so asking for ``k`` paths after having asked for
+    ``k' < k`` only computes the missing ``k - k'``.  Mutating the network
+    after creating a cache invalidates it; create a new cache instead.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._generators: Dict[Tuple[str, str], Iterator[Path]] = {}
+        self._paths: Dict[Tuple[str, str], List[Path]] = {}
+        self._exhausted: Set[Tuple[str, str]] = set()
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def get(self, src: str, dst: str, k: int) -> List[Path]:
+        """The first ``k`` shortest paths (fewer if fewer exist)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        key = (src, dst)
+        if key not in self._paths:
+            self._paths[key] = []
+            self._generators[key] = k_shortest_paths(self._network, src, dst)
+        paths = self._paths[key]
+        while len(paths) < k and key not in self._exhausted:
+            try:
+                paths.append(next(self._generators[key]))
+            except StopIteration:
+                self._exhausted.add(key)
+        return paths[:k]
+
+    def count_cached(self, src: str, dst: str) -> int:
+        """How many paths are already materialized for a pair."""
+        return len(self._paths.get((src, dst), []))
+
+    def shortest(self, src: str, dst: str) -> Path:
+        """The single shortest path; raises :class:`NoPathError` if none."""
+        paths = self.get(src, dst, 1)
+        if not paths:
+            raise NoPathError(f"no path {src} -> {dst}")
+        return paths[0]

@@ -1,0 +1,219 @@
+"""B4-style greedy traffic placement (paper §3).
+
+"B4 starts by incrementally placing traffic from each aggregate onto its
+shortest path.  This is done in parallel for all aggregates.  When an
+aggregate's shortest path fills up, B4 starts allocating that aggregate
+onto the next shortest path, and so forth.  Hence, while it considers
+low-latency paths first, B4 still uses a greedy algorithm."
+
+We implement that as synchronous water-filling: at every step each active
+aggregate pushes rate onto its current preferred path at an equal rate, the
+step size being the largest uniform increment before some link saturates or
+some aggregate completes.  When a link saturates, aggregates preferring a
+path through it advance to their next shortest path with residual capacity
+everywhere.  An aggregate that runs out of usable paths keeps its leftover
+demand, which is force-placed on its shortest path — this models the
+congestion the paper observes B4 inducing on high-LLPD networks (its
+Figure 5 trap).
+
+With ``headroom > 0`` the water-filling works against capacities scaled by
+``1 - headroom``; leftover demand then gets a second pass against the full
+capacities — the paper's observation that headroom lets B4 fit traffic it
+otherwise could not, by eating into the reserve (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.graph import Network
+from repro.net.paths import KspCache, Path, path_links
+from repro.routing.base import PathAllocation, Placement, RoutingScheme
+from repro.tm.matrix import Aggregate, TrafficMatrix
+
+# Stop allocating below this rate: avoids infinitesimal water-filling steps.
+RATE_EPSILON_BPS = 1.0
+
+
+@dataclass
+class _AggregateState:
+    """Book-keeping for one aggregate during water-filling."""
+
+    aggregate: Aggregate
+    remaining_bps: float
+    #: Allocated rate per path (paths are added as the aggregate advances).
+    placed: Dict[Path, float] = field(default_factory=dict)
+    #: Index of the next k-shortest path to try.
+    next_path_rank: int = 0
+    current_path: Optional[Path] = None
+    exhausted: bool = False
+
+
+class B4Routing(RoutingScheme):
+    """Greedy progressive filling over k-shortest paths."""
+
+    name = "B4"
+
+    def __init__(
+        self,
+        headroom: float = 0.0,
+        max_paths_per_aggregate: int = 25,
+        cache: Optional[KspCache] = None,
+    ) -> None:
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError(f"headroom must be in [0, 1), got {headroom}")
+        self.headroom = headroom
+        self.max_paths_per_aggregate = max_paths_per_aggregate
+        self._cache = cache
+        if headroom > 0:
+            self.name = f"B4(h={headroom:.0%})"
+
+    # ------------------------------------------------------------------
+    def place(self, network: Network, tm: TrafficMatrix) -> Placement:
+        if self._cache is not None and self._cache.network is network:
+            cache = self._cache
+        else:
+            cache = KspCache(network)
+
+        residual = {
+            link.key: link.capacity_bps * (1.0 - self.headroom)
+            for link in network.links()
+        }
+        states = [
+            _AggregateState(agg, agg.demand_bps) for agg in tm.aggregates()
+        ]
+        self._waterfill(states, residual, cache)
+
+        if self.headroom > 0:
+            # Second pass: leftover traffic may eat into the reserved
+            # headroom (residuals measured against full capacity).
+            leftovers = [s for s in states if s.remaining_bps > RATE_EPSILON_BPS]
+            if leftovers:
+                full_residual = {
+                    link.key: link.capacity_bps for link in network.links()
+                }
+                for key, value in residual.items():
+                    used = (
+                        network.link(*key).capacity_bps * (1.0 - self.headroom)
+                        - value
+                    )
+                    full_residual[key] -= used
+                for state in leftovers:
+                    state.exhausted = False
+                    state.next_path_rank = 0
+                    state.current_path = None
+                self._waterfill(leftovers, full_residual, cache)
+
+        # Whatever remains cannot fit: force it onto the shortest path and
+        # record it so congestion metrics can see it.
+        allocations: Dict[Aggregate, List[PathAllocation]] = {}
+        unplaced: Dict[Aggregate, float] = {}
+        for state in states:
+            agg = state.aggregate
+            placed = dict(state.placed)
+            if state.remaining_bps > RATE_EPSILON_BPS:
+                shortest = cache.shortest(agg.src, agg.dst)
+                placed[shortest] = placed.get(shortest, 0.0) + state.remaining_bps
+                unplaced[agg] = state.remaining_bps
+            total = sum(placed.values())
+            if total <= 0:
+                shortest = cache.shortest(agg.src, agg.dst)
+                placed = {shortest: agg.demand_bps}
+                total = agg.demand_bps
+                unplaced[agg] = agg.demand_bps
+            allocations[agg] = [
+                PathAllocation(path, rate / total)
+                for path, rate in placed.items()
+                if rate > 0.0
+            ]
+        return Placement(network, allocations, unplaced_bps=unplaced)
+
+    # ------------------------------------------------------------------
+    def _waterfill(
+        self,
+        states: List[_AggregateState],
+        residual: Dict[Tuple[str, str], float],
+        cache: KspCache,
+    ) -> None:
+        """Fill paths synchronously until demands are met or paths run out."""
+        for state in states:
+            self._advance(state, residual, cache)
+
+        while True:
+            active = [
+                s
+                for s in states
+                if not s.exhausted and s.remaining_bps > RATE_EPSILON_BPS
+            ]
+            if not active:
+                return
+
+            # Count how many active aggregates currently traverse each link.
+            users: Dict[Tuple[str, str], int] = {}
+            for state in active:
+                assert state.current_path is not None
+                for key in path_links(state.current_path):
+                    users[key] = users.get(key, 0) + 1
+
+            # Largest uniform increment before a link fills or an
+            # aggregate's demand completes.
+            step = min(s.remaining_bps for s in active)
+            for key, count in users.items():
+                step = min(step, residual[key] / count)
+
+            if step > RATE_EPSILON_BPS:
+                for state in active:
+                    path = state.current_path
+                    assert path is not None
+                    state.placed[path] = state.placed.get(path, 0.0) + step
+                    state.remaining_bps -= step
+                    for key in path_links(path):
+                        residual[key] -= step
+
+            # Advance any aggregate whose preferred path just saturated.
+            advanced_any = False
+            for state in active:
+                if state.remaining_bps <= RATE_EPSILON_BPS:
+                    continue
+                path = state.current_path
+                assert path is not None
+                if any(residual[key] <= RATE_EPSILON_BPS for key in path_links(path)):
+                    self._advance(state, residual, cache)
+                    advanced_any = True
+
+            if step <= RATE_EPSILON_BPS and not advanced_any:
+                # Numerical corner: many users share a nearly-empty link so
+                # the uniform step underflows without any single residual
+                # dropping below epsilon.  Force the users of the tightest
+                # link to advance so the loop always makes progress.
+                tightest = min(users, key=lambda key: residual[key] / users[key])
+                for state in active:
+                    if state.remaining_bps <= RATE_EPSILON_BPS:
+                        continue
+                    path = state.current_path
+                    if path is not None and tightest in path_links(path):
+                        self._advance(state, residual, cache)
+
+    def _advance(
+        self,
+        state: _AggregateState,
+        residual: Dict[Tuple[str, str], float],
+        cache: KspCache,
+    ) -> None:
+        """Move to the next shortest path with residual capacity everywhere."""
+        agg = state.aggregate
+        while state.next_path_rank < self.max_paths_per_aggregate:
+            rank = state.next_path_rank
+            paths = cache.get(agg.src, agg.dst, rank + 1)
+            if len(paths) <= rank:
+                break  # no more simple paths exist
+            state.next_path_rank += 1
+            candidate = paths[rank]
+            if all(
+                residual[key] > RATE_EPSILON_BPS for key in path_links(candidate)
+            ):
+                state.current_path = candidate
+                return
+        state.current_path = None
+        state.exhausted = True

@@ -1,0 +1,56 @@
+"""Flow decomposition: turn per-link flows into path allocations.
+
+The link-based multi-commodity formulation yields, per aggregate, a rate on
+every directed link.  Any conservative flow decomposes into at most |E|
+paths (plus cycles, which an optimal LP solution never carries because they
+only add delay cost).  We repeatedly extract the lowest-delay path through
+the positive-flow subgraph and strip the bottleneck rate from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.graph import Network
+from repro.net.paths import NoPathError, Path, path_links, shortest_path
+
+FLOW_EPSILON = 1e-9
+
+
+def decompose_flow(
+    network: Network,
+    src: str,
+    dst: str,
+    link_flow_bps: Dict[Tuple[str, str], float],
+    demand_bps: float,
+) -> List[Tuple[Path, float]]:
+    """Decompose one aggregate's link flows into (path, fraction) splits.
+
+    Fractions are relative to ``demand_bps``.  Tiny residuals (LP noise)
+    are discarded; the caller is expected to renormalize.
+    """
+    if demand_bps <= 0:
+        raise ValueError(f"demand must be positive, got {demand_bps}")
+    remaining = {
+        key: flow for key, flow in link_flow_bps.items() if flow > FLOW_EPSILON
+    }
+    splits: List[Tuple[Path, float]] = []
+    delivered = 0.0
+    # |E| iterations suffice for any conservative flow; the +1 margin
+    # absorbs epsilon effects.
+    for _ in range(len(link_flow_bps) + 1):
+        if delivered >= demand_bps * (1.0 - 1e-6):
+            break
+        subgraph = network.subgraph_with_links(remaining)
+        try:
+            path = shortest_path(subgraph, src, dst)
+        except NoPathError:
+            break
+        bottleneck = min(remaining[key] for key in path_links(path))
+        for key in path_links(path):
+            remaining[key] -= bottleneck
+            if remaining[key] <= FLOW_EPSILON:
+                del remaining[key]
+        splits.append((path, bottleneck / demand_bps))
+        delivered += bottleneck
+    return splits

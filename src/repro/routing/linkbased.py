@@ -1,0 +1,161 @@
+"""Link-based (node-arc) formulation of the latency optimization.
+
+The paper contrasts its path-based iterative approach with "a
+multi-commodity flow problem, with one commodity per aggregate, in the
+spirit of Bertsekas et al.  However, the size of this optimization model
+scales with the product of number of aggregates and number of links, hence
+this approach may quickly become impractical" — and its Figure 15 measures
+it to be about two orders of magnitude slower.  This module is that
+baseline: same objective layers as Figure 12, but with per-aggregate,
+per-link flow variables instead of path-fraction variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lp import LinearProgram, LinExpr, Variable
+from repro.net.graph import Network
+from repro.net.paths import shortest_path_delays
+from repro.routing.base import Placement, RoutingScheme, normalize_allocations
+from repro.routing.decompose import decompose_flow
+from repro.routing.pathlp import (
+    M1_TIEBREAK,
+    M2_MAX_OVERLOAD,
+    M3_TOTAL_OVERLOAD,
+)
+from repro.tm.matrix import Aggregate, TrafficMatrix
+
+
+class LinkBasedOptimalRouting(RoutingScheme):
+    """Latency-optimal placement via one monolithic node-arc LP."""
+
+    name = "LinkBasedOptimal"
+
+    def __init__(self, headroom: float = 0.0) -> None:
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError(f"headroom must be in [0, 1), got {headroom}")
+        self.headroom = headroom
+
+    def place(self, network: Network, tm: TrafficMatrix) -> Placement:
+        routed = (
+            network.with_capacity_factor(1.0 - self.headroom)
+            if self.headroom > 0
+            else network
+        )
+        aggregates = tm.aggregates()
+        if not aggregates:
+            raise ValueError("traffic matrix has no aggregates to route")
+        links = list(routed.links())
+        capacity_unit = sum(link.capacity_bps for link in links) / len(links)
+        total_flows = sum(agg.n_flows for agg in aggregates)
+
+        shortest: Dict[str, Dict[str, float]] = {}
+        for agg in aggregates:
+            if agg.src not in shortest:
+                shortest[agg.src] = shortest_path_delays(routed, agg.src)
+        delay_unit = (
+            sum(
+                agg.n_flows * shortest[agg.src][agg.dst] for agg in aggregates
+            )
+            / total_flows
+        )
+        if delay_unit <= 0:
+            delay_unit = 1e-3
+
+        lp = LinearProgram()
+        flow: Dict[Tuple[int, Tuple[str, str]], Variable] = {}
+        for ai, agg in enumerate(aggregates):
+            for link in links:
+                flow[(ai, link.key)] = lp.variable(f"f[{ai},{link.src}->{link.dst}]")
+
+        # Conservation per aggregate and node, in capacity units.
+        for ai, agg in enumerate(aggregates):
+            demand_units = agg.demand_bps / capacity_unit
+            for node in routed.node_names:
+                expr = LinExpr()
+                for link in routed.out_links(node):
+                    expr.add_term(flow[(ai, link.key)], 1.0)
+                for link in routed.in_links(node):
+                    expr.add_term(flow[(ai, link.key)], -1.0)
+                if node == agg.src:
+                    rhs = demand_units
+                elif node == agg.dst:
+                    rhs = -demand_units
+                else:
+                    rhs = 0.0
+                lp.add_constraint(expr, "==", rhs)
+
+        # Capacity with overload variables, as in Figure 12.
+        omax = lp.variable("Omax", lower=1.0)
+        overload: Dict[Tuple[str, str], Variable] = {}
+        for link in links:
+            o_l = lp.variable(f"O[{link.src}->{link.dst}]", lower=1.0)
+            overload[link.key] = o_l
+            expr = LinExpr()
+            for ai in range(len(aggregates)):
+                expr.add_term(flow[(ai, link.key)], 1.0)
+            expr.add_term(o_l, -link.capacity_bps / capacity_unit)
+            lp.add_constraint(expr, "<=", 0.0)
+            bound = LinExpr({o_l: 1.0})
+            bound.add_term(omax, -1.0)
+            lp.add_constraint(bound, "<=", 0.0)
+
+        # Objective: delay (with the RTT tie-break), then overload layers.
+        objective = LinExpr()
+        for ai, agg in enumerate(aggregates):
+            weight = agg.n_flows / total_flows
+            shortest_delay = max(shortest[agg.src][agg.dst], 1e-9)
+            demand_units = agg.demand_bps / capacity_unit
+            # sum_l f_al * d_l / B_a  ==  flow-fraction-weighted path delay.
+            for link in links:
+                delay = link.delay_s / delay_unit
+                coefficient = weight * delay / demand_units
+                coefficient *= 1.0 + M1_TIEBREAK * (delay_unit / shortest_delay)
+                objective.add_term(flow[(ai, link.key)], coefficient)
+        objective.add_term(omax, M2_MAX_OVERLOAD)
+        for o_l in overload.values():
+            objective.add_term(o_l, M3_TOTAL_OVERLOAD)
+        lp.minimize(objective)
+
+        solution = lp.solve()
+
+        raw: Dict[Aggregate, List[Tuple[tuple, float]]] = {}
+        unplaced: Dict[Aggregate, float] = {}
+        for ai, agg in enumerate(aggregates):
+            link_flow = {
+                link.key: solution.value(flow[(ai, link.key)]) * capacity_unit
+                for link in links
+            }
+            splits = decompose_flow(
+                routed, agg.src, agg.dst, link_flow, agg.demand_bps
+            )
+            if not splits:
+                raise RuntimeError(
+                    f"decomposition failed for {agg.src}->{agg.dst}"
+                )
+            raw[agg] = splits
+        allocations = normalize_allocations(raw)
+        max_overload = solution.value(omax)
+        if max_overload > 1.0 + 1e-6:
+            from repro.net.paths import path_links
+
+            overloaded = {
+                key
+                for key, var in overload.items()
+                if solution.value(var) > 1.0 + 1e-6
+            }
+            for agg, splits in raw.items():
+                fraction_over = sum(
+                    fraction
+                    for path, fraction in splits
+                    if any(key in overloaded for key in path_links(path))
+                )
+                if fraction_over > 0:
+                    unplaced[agg] = (
+                        agg.demand_bps
+                        * fraction_over
+                        * (max_overload - 1.0)
+                        / max_overload
+                    )
+        return Placement(network, allocations, unplaced_bps=unplaced)

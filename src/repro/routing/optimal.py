@@ -1,0 +1,281 @@
+"""Latency-optimal routing via iterative path-set growth.
+
+The paper's Figure 13: start each aggregate with only its shortest path,
+solve the Figure 12 LP, find maximally overloaded links, grow the path sets
+of the aggregates crossing those links with further k-shortest paths, and
+repeat until nothing is overloaded.  "Even though this approach involves
+multiple runs of the LP optimization, it actually runs very quickly because
+the number of variables (paths) in each run is small."
+
+With ``headroom > 0`` the optimization sees capacities scaled by
+``1 - headroom`` (the paper's headroom dial, §4) while the returned
+placement is judged against the true capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.graph import Network
+from repro.net.paths import KspCache, Path, path_links
+from repro.routing.base import (
+    Placement,
+    RoutingScheme,
+    normalize_allocations,
+)
+from repro.routing.pathlp import PathLpResult, solve_latency_lp
+from repro.tm.matrix import Aggregate, TrafficMatrix
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics of one iterative solve (useful for the Fig 15 bench)."""
+
+    lp_solves: int
+    total_paths: int
+    fits: bool
+    max_overload: float
+
+
+def grow_path_sets(
+    cache: KspCache,
+    path_sets: Dict[Aggregate, List[Path]],
+    target_counts: Dict[Aggregate, int],
+    crossing: Sequence[Aggregate],
+    grow_step: int,
+    max_paths: int,
+) -> bool:
+    """Extend the path lists of the given aggregates; True if any grew."""
+    grew = False
+    for agg in crossing:
+        current = target_counts[agg]
+        if current >= max_paths:
+            continue
+        target_counts[agg] = min(max_paths, current + grow_step)
+        paths = cache.get(agg.src, agg.dst, target_counts[agg])
+        if len(paths) > len(path_sets[agg]):
+            path_sets[agg] = list(paths)
+            grew = True
+        else:
+            # Pair has no more simple paths; remember that.
+            target_counts[agg] = max_paths
+    return grew
+
+
+def add_detour_paths(
+    network: Network,
+    path_sets: Dict[Aggregate, List[Path]],
+    crossing: Sequence[Aggregate],
+    overloaded: Sequence[Tuple[str, str]],
+) -> bool:
+    """Add, per crossing aggregate, its shortest path avoiding the
+    overloaded links.
+
+    Pure k-shortest-path growth can take combinatorially long to find a
+    path that avoids a specific hotspot (on multi-continent topologies,
+    thousands of same-ocean-crossing variants precede the first path over
+    a different crossing).  One targeted Dijkstra per aggregate supplies
+    exactly the "route around this link" diversity the LP needs.
+    Returns True if any path set grew.
+    """
+    from repro.net.paths import NoPathError, path_links, shortest_path
+
+    all_excluded = set(overloaded)
+    grew = False
+    for agg in crossing:
+        known = set(path_sets[agg])
+        # One detour per overloaded link this aggregate currently crosses:
+        # when several links are hot at once (e.g. every transatlantic
+        # crossing), a single all-avoiding detour often does not exist,
+        # but per-link alternatives do — and they are what the LP needs
+        # to shift load between hotspots.
+        crossed = [
+            key
+            for path in path_sets[agg]
+            for key in path_links(path)
+            if key in all_excluded
+        ]
+        candidates = [frozenset([key]) for key in dict.fromkeys(crossed)]
+        if len(all_excluded) > 1:
+            candidates.append(frozenset(all_excluded))
+        for excluded in candidates:
+            try:
+                detour = shortest_path(
+                    network, agg.src, agg.dst, excluded_links=set(excluded)
+                )
+            except NoPathError:
+                continue
+            if detour not in known:
+                path_sets[agg].append(detour)
+                known.add(detour)
+                grew = True
+    return grew
+
+
+def aggregates_crossing(
+    result: PathLpResult,
+    path_sets: Mapping[Aggregate, Sequence[Path]],
+    links: Sequence[Tuple[str, str]],
+) -> List[Aggregate]:
+    """Aggregates whose current placement routes traffic over the links."""
+    link_set = set(links)
+    crossing = []
+    for agg, splits in result.fractions.items():
+        for path, fraction in splits:
+            if fraction <= 1e-9:
+                continue
+            if any(key in link_set for key in path_links(path)):
+                crossing.append(agg)
+                break
+    return crossing
+
+
+def solve_iterative_latency(
+    network: Network,
+    tm: TrafficMatrix,
+    cache: Optional[KspCache] = None,
+    initial_k: int = 1,
+    grow_step: int = 2,
+    max_paths: int = 50,
+    max_iterations: int = 60,
+    warm_counts: Optional[Dict[Tuple[str, str], int]] = None,
+    use_detours: bool = True,
+) -> Tuple[PathLpResult, IterationStats]:
+    """Run the Figure 13 loop to (near) latency-optimality.
+
+    Returns the final LP result plus iteration statistics.  If the traffic
+    is genuinely unroutable the final result still carries the
+    overload-spreading placement the Figure 12 objective degrades to.
+
+    ``warm_counts`` lets callers that solve repeatedly with slightly
+    different demands (the LDR multiplexing loop) start each pair at the
+    path count the previous solve ended with, instead of re-growing from
+    ``initial_k``.  It is updated in place.
+    """
+    cache = cache if cache is not None else KspCache(network)
+    aggregates = tm.aggregates()
+    if not aggregates:
+        raise ValueError("traffic matrix has no aggregates to route")
+    path_sets: Dict[Aggregate, List[Path]] = {}
+    target_counts: Dict[Aggregate, int] = {}
+    for agg in aggregates:
+        k = initial_k
+        if warm_counts is not None:
+            k = max(k, warm_counts.get(agg.pair, initial_k))
+        paths = cache.get(agg.src, agg.dst, k)
+        if not paths:
+            raise ValueError(f"no path {agg.src} -> {agg.dst}")
+        path_sets[agg] = list(paths)
+        target_counts[agg] = k
+
+    solves = 0
+    result = None
+    for _ in range(max_iterations):
+        result = solve_latency_lp(network, path_sets)
+        solves += 1
+        if result.fits:
+            break
+        overloaded = result.overloaded_links(only_maximal=True)
+        crossing = aggregates_crossing(result, path_sets, overloaded)
+        grew = grow_path_sets(
+            cache, path_sets, target_counts, crossing, grow_step, max_paths
+        )
+        # Targeted detours around the hotspot complement blind KSP growth
+        # (see add_detour_paths for why both are needed).  The flag exists
+        # so the ablation bench can quantify their contribution.
+        if use_detours:
+            grew |= add_detour_paths(network, path_sets, crossing, overloaded)
+        if not grew:
+            # Nobody can grow further along the bottleneck: widen the
+            # growth to every overloaded link before giving up.
+            overloaded = result.overloaded_links(only_maximal=False)
+            crossing = aggregates_crossing(result, path_sets, overloaded)
+            grew = grow_path_sets(
+                cache, path_sets, target_counts, crossing, grow_step, max_paths
+            )
+            if use_detours:
+                grew |= add_detour_paths(network, path_sets, crossing, overloaded)
+            if not grew:
+                break
+    assert result is not None
+    if warm_counts is not None:
+        for agg, count in target_counts.items():
+            warm_counts[agg.pair] = count
+    stats = IterationStats(
+        lp_solves=solves,
+        total_paths=sum(len(paths) for paths in path_sets.values()),
+        fits=result.fits,
+        max_overload=result.max_overload,
+    )
+    return result, stats
+
+
+class LatencyOptimalRouting(RoutingScheme):
+    """The paper's latency-optimal scheme (and the core of LDR).
+
+    ``headroom`` reserves a fraction of every link's capacity: the optimizer
+    sees capacities scaled by ``1 - headroom``.  At ``headroom = 0`` this is
+    the "living on the edge" latency-optimal placement of Figure 4(a); as
+    headroom approaches the MinMax residual the placement converges to
+    MinMax (§4).
+    """
+
+    def __init__(
+        self,
+        headroom: float = 0.0,
+        initial_k: int = 1,
+        grow_step: int = 2,
+        max_paths: int = 50,
+        cache: Optional[KspCache] = None,
+    ) -> None:
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError(f"headroom must be in [0, 1), got {headroom}")
+        self.headroom = headroom
+        self.initial_k = initial_k
+        self.grow_step = grow_step
+        self.max_paths = max_paths
+        self._cache = cache
+        self.name = "LatencyOptimal" if headroom == 0 else f"LDR(h={headroom:.0%})"
+        self.last_stats: Optional[IterationStats] = None
+
+    def place(self, network: Network, tm: TrafficMatrix) -> Placement:
+        routed_network = (
+            network.with_capacity_factor(1.0 - self.headroom)
+            if self.headroom > 0
+            else network
+        )
+        # The KSP cache only depends on delays, never capacities, so a cache
+        # built on the unscaled network is valid for the scaled copy too.
+        if self._cache is not None and self._cache.network is network:
+            cache = self._cache
+        else:
+            cache = KspCache(network)
+        result, stats = solve_iterative_latency(
+            routed_network,
+            tm,
+            cache=cache,
+            initial_k=self.initial_k,
+            grow_step=self.grow_step,
+            max_paths=self.max_paths,
+        )
+        self.last_stats = stats
+        allocations = normalize_allocations(result.fractions)
+        unplaced: Dict[Aggregate, float] = {}
+        if not result.fits:
+            # Traffic that exceeds (scaled) capacity: attribute the excess
+            # to the aggregates crossing overloaded links, pro rata.
+            overloaded = set(result.overloaded_links(only_maximal=False))
+            for agg, splits in result.fractions.items():
+                excess_fraction = sum(
+                    fraction
+                    for path, fraction in splits
+                    if fraction > 1e-9
+                    and any(key in overloaded for key in path_links(path))
+                )
+                if excess_fraction > 0:
+                    over = result.max_overload - 1.0
+                    unplaced[agg] = (
+                        agg.demand_bps * excess_fraction * over / result.max_overload
+                    )
+        return Placement(network, allocations, unplaced_bps=unplaced)

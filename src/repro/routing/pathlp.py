@@ -1,0 +1,278 @@
+"""Path-based LP formulations shared by the routing schemes.
+
+This module implements the paper's Figure 12 linear program:
+
+    min   sum_a n_a sum_{p in P_a} x_ap (d_p + d_p M1 / S_a)
+            + M2 * Omax + sum_l O_l
+    s.t.  sum_a sum_{p in P_a} x_ap B_a <= C_l O_l      for all links l
+          1 <= O_l <= Omax                              for all links l
+          sum_{p in P_a} x_ap = 1                       for all aggregates a
+
+with the paper's priority layering: avoiding congestion dominates (M2
+large), total overload is spread if congestion is unavoidable, latency is
+the secondary goal, and a small M1 term tie-breaks between equal-delay
+placements by preferring to move aggregates whose shortest-path RTT is
+already large.
+
+It also implements the MinMax two-stage LP (minimize maximum utilization,
+then minimize latency subject to that maximum), which the paper uses as the
+TeXCP/MATE-style baseline.
+
+All quantities are normalized before hitting the solver: rates in units of
+the mean link capacity and delays in units of the flow-weighted mean
+shortest-path delay.  This keeps coefficient magnitudes near 1 and the
+HiGHS backend numerically happy (raw bits/s coefficients provoke spurious
+unbounded results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lp import LinearProgram, LinExpr, Variable
+from repro.net.graph import Network
+from repro.net.paths import Path, path_links
+from repro.tm.matrix import Aggregate
+
+# Priority layers of the Figure 12 objective (normalized units).
+M1_TIEBREAK = 1e-3
+M2_MAX_OVERLOAD = 1e4
+M3_TOTAL_OVERLOAD = 1e2
+
+#: Overloads within this tolerance of 1.0 count as "fits".
+OVERLOAD_TOLERANCE = 1e-5
+
+
+@dataclass
+class PathLpResult:
+    """Outcome of one path-based LP solve."""
+
+    fractions: Dict[Aggregate, List[Tuple[Path, float]]]
+    link_overload: Dict[Tuple[str, str], float]
+    max_overload: float
+    objective: float
+
+    @property
+    def fits(self) -> bool:
+        return self.max_overload <= 1.0 + OVERLOAD_TOLERANCE
+
+    def overloaded_links(self, only_maximal: bool = True) -> List[Tuple[str, str]]:
+        """Links with overload > 1; optionally only the maximally loaded.
+
+        The paper's Figure 13 iteration grows paths for aggregates crossing
+        links "that are maximally overloaded — i.e., such that
+        Ol = Omax > 1".
+        """
+        if self.fits:
+            return []
+        if only_maximal:
+            threshold = self.max_overload * (1.0 - 1e-6)
+        else:
+            threshold = 1.0 + OVERLOAD_TOLERANCE
+        return [
+            key for key, value in self.link_overload.items() if value >= threshold
+        ]
+
+
+class _PathLpBuilder:
+    """Common scaffolding for the latency and MinMax path LPs."""
+
+    def __init__(
+        self,
+        network: Network,
+        path_sets: Mapping[Aggregate, Sequence[Path]],
+    ) -> None:
+        if not path_sets:
+            raise ValueError("no aggregates to place")
+        for agg, paths in path_sets.items():
+            if not paths:
+                raise ValueError(f"aggregate {agg.src}->{agg.dst} has no paths")
+        self.network = network
+        self.path_sets = {agg: list(paths) for agg, paths in path_sets.items()}
+        self.aggregates = list(self.path_sets)
+
+        links = list(network.links())
+        self.capacity_unit = (
+            sum(link.capacity_bps for link in links) / len(links)
+        )
+        total_flows = sum(agg.n_flows for agg in self.aggregates)
+        self.flow_weight = {
+            agg: agg.n_flows / total_flows for agg in self.aggregates
+        }
+
+        # Per-path delay and link list, computed exactly once: these two
+        # loops dominate model-build time, so they read link attributes
+        # directly instead of going through the path helper functions.
+        link_delay = {link.key: link.delay_s for link in links}
+        self._path_links: Dict[Tuple[int, int], List[Tuple[str, str]]] = {}
+        self._path_delay: Dict[Tuple[int, int], float] = {}
+        for ai, agg in enumerate(self.aggregates):
+            for pi, path in enumerate(self.path_sets[agg]):
+                keys = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+                self._path_links[(ai, pi)] = keys
+                self._path_delay[(ai, pi)] = sum(link_delay[k] for k in keys)
+
+        # Shortest-path delay per aggregate: the first path in each set is
+        # required to be the shortest (KspCache guarantees order).
+        self.shortest_delay = {
+            agg: self._path_delay[(ai, 0)]
+            for ai, agg in enumerate(self.aggregates)
+        }
+        self.delay_unit = sum(
+            self.flow_weight[agg] * self.shortest_delay[agg]
+            for agg in self.aggregates
+        )
+        if self.delay_unit <= 0:
+            self.delay_unit = 1e-3  # degenerate all-zero-delay network
+
+        self.lp = LinearProgram()
+        self.x: Dict[Tuple[int, int], Variable] = {}
+        for ai, agg in enumerate(self.aggregates):
+            for pi, _ in enumerate(self.path_sets[agg]):
+                self.x[(ai, pi)] = self.lp.variable(f"x[{ai},{pi}]", 0.0, 1.0)
+            expr = LinExpr()
+            for pi in range(len(self.path_sets[agg])):
+                expr.add_term(self.x[(ai, pi)], 1.0)
+            self.lp.add_constraint(expr, "==", 1.0)
+
+        # Load expression per used directed link, in capacity units.
+        self.load_exprs: Dict[Tuple[str, str], LinExpr] = {}
+        for ai, agg in enumerate(self.aggregates):
+            demand_units = agg.demand_bps / self.capacity_unit
+            for pi in range(len(self.path_sets[agg])):
+                x_var = self.x[(ai, pi)]
+                for key in self._path_links[(ai, pi)]:
+                    expr = self.load_exprs.setdefault(key, LinExpr())
+                    expr.add_term(x_var, demand_units)
+
+    def delay_objective(self, with_tiebreak: bool = True) -> LinExpr:
+        """The flow-weighted delay term of Figure 12 (normalized)."""
+        objective = LinExpr()
+        for ai, agg in enumerate(self.aggregates):
+            weight = self.flow_weight[agg]
+            shortest = max(self.shortest_delay[agg], 1e-9)
+            for pi in range(len(self.path_sets[agg])):
+                delay = self._path_delay[(ai, pi)] / self.delay_unit
+                coefficient = weight * delay
+                if with_tiebreak:
+                    # d_p * M1 / S_a: cheaper to detour aggregates whose
+                    # shortest delay is already large.
+                    coefficient += (
+                        weight * delay * M1_TIEBREAK * (self.delay_unit / shortest)
+                    )
+                objective.add_term(self.x[(ai, pi)], coefficient)
+        return objective
+
+    def extract_fractions(
+        self, solution
+    ) -> Dict[Aggregate, List[Tuple[Path, float]]]:
+        fractions: Dict[Aggregate, List[Tuple[Path, float]]] = {}
+        for ai, agg in enumerate(self.aggregates):
+            splits = [
+                (path, solution.value(self.x[(ai, pi)]))
+                for pi, path in enumerate(self.path_sets[agg])
+            ]
+            fractions[agg] = splits
+        return fractions
+
+
+def solve_latency_lp(
+    network: Network,
+    path_sets: Mapping[Aggregate, Sequence[Path]],
+) -> PathLpResult:
+    """One solve of the Figure 12 latency-optimization LP."""
+    builder = _PathLpBuilder(network, path_sets)
+    lp = builder.lp
+
+    omax = lp.variable("Omax", lower=1.0)
+    overload: Dict[Tuple[str, str], Variable] = {}
+    for key, load_expr in builder.load_exprs.items():
+        o_l = lp.variable(f"O[{key[0]}->{key[1]}]", lower=1.0)
+        overload[key] = o_l
+        capacity_units = network.link(*key).capacity_bps / builder.capacity_unit
+        # sum_a sum_p x_ap B_a <= C_l O_l
+        constraint = LinExpr(dict(load_expr.terms))
+        constraint.add_term(o_l, -capacity_units)
+        lp.add_constraint(constraint, "<=", 0.0)
+        # O_l <= Omax
+        bound = LinExpr({o_l: 1.0})
+        bound.add_term(omax, -1.0)
+        lp.add_constraint(bound, "<=", 0.0)
+
+    objective = builder.delay_objective(with_tiebreak=True)
+    objective.add_term(omax, M2_MAX_OVERLOAD)
+    for o_l in overload.values():
+        objective.add_term(o_l, M3_TOTAL_OVERLOAD)
+    lp.minimize(objective)
+
+    solution = lp.solve()
+    link_overload = {
+        key: solution.value(var) for key, var in overload.items()
+    }
+    return PathLpResult(
+        fractions=builder.extract_fractions(solution),
+        link_overload=link_overload,
+        max_overload=solution.value(omax),
+        objective=solution.objective,
+    )
+
+
+def solve_minmax_lp(
+    network: Network,
+    path_sets: Mapping[Aggregate, Sequence[Path]],
+    utilization_cap: Optional[float] = None,
+) -> Tuple[PathLpResult, float]:
+    """The MinMax two-stage LP over the given path sets.
+
+    Stage 1 minimizes the maximum link utilization Umax (no lower bound at
+    1: MinMax by definition drives utilization as low as it can).  Stage 2
+    re-optimizes latency subject to every link staying within the stage-1
+    utilization.  Returns the placement and the achieved Umax.
+
+    ``utilization_cap`` can preseed a known-optimal stage-1 value (used by
+    the iterative full-MinMax driver to skip re-deriving it).
+    """
+    if utilization_cap is None:
+        stage1 = _PathLpBuilder(network, path_sets)
+        umax = stage1.lp.variable("Umax", lower=0.0)
+        for key, load_expr in stage1.load_exprs.items():
+            capacity_units = (
+                network.link(*key).capacity_bps / stage1.capacity_unit
+            )
+            constraint = LinExpr(dict(load_expr.terms))
+            constraint.add_term(umax, -capacity_units)
+            stage1.lp.add_constraint(constraint, "<=", 0.0)
+        stage1.lp.minimize(LinExpr({umax: 1.0}))
+        utilization_cap = stage1.lp.solve().value(umax)
+
+    stage2 = _PathLpBuilder(network, path_sets)
+    cap = utilization_cap * (1.0 + 1e-6) + 1e-9
+    for key, load_expr in stage2.load_exprs.items():
+        capacity_units = network.link(*key).capacity_bps / stage2.capacity_unit
+        stage2.lp.add_constraint(load_expr, "<=", capacity_units * cap)
+    stage2.lp.minimize(stage2.delay_objective(with_tiebreak=True))
+    solution = stage2.lp.solve()
+
+    fractions = stage2.extract_fractions(solution)
+    # Report per-link utilization of the final placement.
+    link_loads: Dict[Tuple[str, str], float] = {}
+    for agg, splits in fractions.items():
+        for path, fraction in splits:
+            for key in path_links(path):
+                link_loads[key] = (
+                    link_loads.get(key, 0.0) + fraction * agg.demand_bps
+                )
+    link_util = {
+        key: load / network.link(*key).capacity_bps
+        for key, load in link_loads.items()
+    }
+    result = PathLpResult(
+        fractions=fractions,
+        # Raw utilizations (not clipped at 1): MinMax callers need to see
+        # which links are hottest even when everything fits.
+        link_overload=link_util,
+        max_overload=max(1.0, max(link_util.values(), default=0.0)),
+        objective=solution.objective,
+    )
+    return result, utilization_cap

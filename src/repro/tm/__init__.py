@@ -1,0 +1,21 @@
+"""Traffic matrices: gravity-model synthesis, locality shaping and scaling.
+
+Reproduces the paper's workload pipeline (§3): a Zipf/gravity demand model,
+a linear-program *locality* extension that shifts volume from long-distance
+aggregates to short-distance ones, and a scaler that loads the network so
+that optimal routing could still fit the traffic if demands grew by a target
+factor (1.3x in the paper, i.e. 77% min-cut load).
+"""
+
+from repro.tm.matrix import TrafficMatrix
+from repro.tm.gravity import gravity_traffic_matrix
+from repro.tm.locality import apply_locality
+from repro.tm.scale import max_scale_factor, scale_to_growth_headroom
+
+__all__ = [
+    "TrafficMatrix",
+    "gravity_traffic_matrix",
+    "apply_locality",
+    "max_scale_factor",
+    "scale_to_growth_headroom",
+]

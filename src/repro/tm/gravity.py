@@ -1,0 +1,62 @@
+"""Gravity-model traffic synthesis.
+
+The paper synthesizes demand with "a variant of the gravity model [Roughan
+2005].  This model generates traffic aggregates between PoP pairs according
+to a Zipf distribution, as real-world traffic has been characterized."
+
+We implement that as: each PoP draws a Zipf-ranked mass (rank assigned by a
+random permutation), and the aggregate volume between two PoPs is
+proportional to the product of their masses.  The product of two Zipf
+variables is itself heavy-tailed, giving the few-elephants/many-mice
+aggregate size distribution the paper relies on.  Absolute volume is
+irrelevant at this stage — :mod:`repro.tm.scale` normalizes matrices to a
+target network load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.net.graph import Network
+from repro.tm.matrix import TrafficMatrix
+
+
+def zipf_masses(n: int, rng: np.random.Generator, exponent: float = 1.0) -> np.ndarray:
+    """Zipf-distributed masses for ``n`` PoPs, randomly assigned to ranks."""
+    if n < 1:
+        raise ValueError(f"need at least one PoP, got {n}")
+    if exponent <= 0:
+        raise ValueError(f"Zipf exponent must be positive, got {exponent}")
+    ranks = rng.permutation(n) + 1
+    return ranks.astype(float) ** (-exponent)
+
+
+def gravity_traffic_matrix(
+    network: Network,
+    rng: np.random.Generator,
+    exponent: float = 1.0,
+    total_bps: float = 1e9,
+) -> TrafficMatrix:
+    """A gravity-model traffic matrix over every ordered PoP pair.
+
+    ``total_bps`` sets the (arbitrary) pre-scaling total volume; call
+    :func:`repro.tm.scale.scale_to_growth_headroom` afterwards to load the
+    network as the paper does.
+    """
+    names = network.node_names
+    if len(names) < 2:
+        raise ValueError("gravity model needs at least two PoPs")
+    masses = zipf_masses(len(names), rng, exponent)
+    demands: Dict[Tuple[str, str], float] = {}
+    weight_total = 0.0
+    for i, src in enumerate(names):
+        for j, dst in enumerate(names):
+            if i == j:
+                continue
+            weight = masses[i] * masses[j]
+            demands[(src, dst)] = weight
+            weight_total += weight
+    factor = total_bps / weight_total
+    return TrafficMatrix({pair: w * factor for pair, w in demands.items()})

@@ -1,0 +1,133 @@
+"""The traffic matrix datatype.
+
+A :class:`TrafficMatrix` maps ordered PoP pairs to aggregate demands.  Each
+aggregate carries a mean rate (bits/s) and a flow count — the paper's
+latency objective weights each aggregate by its number of flows ``n_a``, and
+ingress routers are assumed to report both quantities (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Traffic between one ordered PoP pair."""
+
+    src: str
+    dst: str
+    demand_bps: float
+    n_flows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"aggregate with equal endpoints {self.src!r}")
+        if self.demand_bps < 0:
+            raise ValueError(f"negative demand for {self.src}->{self.dst}")
+        if self.n_flows < 1:
+            raise ValueError(f"aggregate {self.src}->{self.dst} needs >= 1 flow")
+
+    @property
+    def pair(self) -> Pair:
+        return (self.src, self.dst)
+
+
+# One flow per 5 Mb/s of demand is a reasonable backbone-aggregate figure;
+# the exact constant only affects the flow-count weighting, not feasibility.
+DEFAULT_BPS_PER_FLOW = 5e6
+
+
+class TrafficMatrix:
+    """Demands for a set of ordered PoP pairs.
+
+    The matrix is immutable in spirit: shaping operations return new
+    matrices.  Pairs with zero demand are retained (the locality LP may
+    redistribute volume onto them) but are dropped by :meth:`aggregates`.
+    """
+
+    def __init__(
+        self,
+        demands_bps: Mapping[Pair, float],
+        flow_counts: Optional[Mapping[Pair, int]] = None,
+        bps_per_flow: float = DEFAULT_BPS_PER_FLOW,
+    ) -> None:
+        self._demands: Dict[Pair, float] = {}
+        for (src, dst), demand in demands_bps.items():
+            if src == dst:
+                raise ValueError(f"demand with equal endpoints {src!r}")
+            if demand < 0:
+                raise ValueError(f"negative demand for {src}->{dst}")
+            self._demands[(src, dst)] = float(demand)
+        if flow_counts is not None:
+            self._flows = {pair: int(count) for pair, count in flow_counts.items()}
+        else:
+            self._flows = {
+                pair: max(1, int(round(demand / bps_per_flow)))
+                for pair, demand in self._demands.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def demand(self, src: str, dst: str) -> float:
+        return self._demands.get((src, dst), 0.0)
+
+    def flows(self, src: str, dst: str) -> int:
+        return self._flows.get((src, dst), 1)
+
+    @property
+    def pairs(self) -> List[Pair]:
+        return list(self._demands)
+
+    def items(self) -> Iterator[Tuple[Pair, float]]:
+        return iter(self._demands.items())
+
+    def aggregates(self, min_demand_bps: float = 1.0) -> List[Aggregate]:
+        """Non-trivial aggregates, in deterministic order."""
+        return [
+            Aggregate(src, dst, demand, self.flows(src, dst))
+            for (src, dst), demand in self._demands.items()
+            if demand >= min_demand_bps
+        ]
+
+    @property
+    def total_demand_bps(self) -> float:
+        return sum(self._demands.values())
+
+    def ingress_bps(self, node: str) -> float:
+        """Total traffic sourced at ``node``."""
+        return sum(d for (src, _), d in self._demands.items() if src == node)
+
+    def egress_bps(self, node: str) -> float:
+        """Total traffic destined to ``node``."""
+        return sum(d for (_, dst), d in self._demands.items() if dst == node)
+
+    # ------------------------------------------------------------------
+    # Shaping
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return TrafficMatrix(
+            {pair: demand * factor for pair, demand in self._demands.items()}
+        )
+
+    def with_demands(self, demands_bps: Mapping[Pair, float]) -> "TrafficMatrix":
+        """A copy with some demands replaced (flow counts recomputed)."""
+        merged = dict(self._demands)
+        merged.update({pair: float(d) for pair, d in demands_bps.items()})
+        return TrafficMatrix(merged)
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMatrix(pairs={len(self._demands)}, "
+            f"total={self.total_demand_bps / 1e9:.2f} Gb/s)"
+        )

@@ -1,0 +1,118 @@
+"""Shared fixtures: small hand-built networks and traffic matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.graph import Network, Node
+from repro.net.units import Gbps, ms
+from repro.tm.matrix import TrafficMatrix
+
+
+def build_triangle(capacity_bps: float = Gbps(10)) -> Network:
+    """Three nodes, fully connected, equal 1 ms links."""
+    net = Network("triangle")
+    for name in "abc":
+        net.add_node(Node(name))
+    net.add_duplex_link("a", "b", capacity_bps, ms(1))
+    net.add_duplex_link("b", "c", capacity_bps, ms(1))
+    net.add_duplex_link("a", "c", capacity_bps, ms(1))
+    return net
+
+
+def build_square(capacity_bps: float = Gbps(10)) -> Network:
+    """Four nodes in a cycle a-b-c-d-a, equal 1 ms links."""
+    net = Network("square")
+    for name in "abcd":
+        net.add_node(Node(name))
+    net.add_duplex_link("a", "b", capacity_bps, ms(1))
+    net.add_duplex_link("b", "c", capacity_bps, ms(1))
+    net.add_duplex_link("c", "d", capacity_bps, ms(1))
+    net.add_duplex_link("d", "a", capacity_bps, ms(1))
+    return net
+
+
+def build_diamond() -> Network:
+    """Two parallel two-hop routes s->t: fast (2 ms) and slow (10 ms).
+
+    The slow route is fatter, which makes it interesting for both APA
+    (capacity-aware alternates) and congestion-driven detours.
+    """
+    net = Network("diamond")
+    for name in ("s", "x", "y", "t"):
+        net.add_node(Node(name))
+    net.add_duplex_link("s", "x", Gbps(10), ms(1))
+    net.add_duplex_link("x", "t", Gbps(10), ms(1))
+    net.add_duplex_link("s", "y", Gbps(40), ms(5))
+    net.add_duplex_link("y", "t", Gbps(40), ms(5))
+    return net
+
+
+def build_line(n: int = 4, capacity_bps: float = Gbps(10)) -> Network:
+    """A chain n0 - n1 - ... - n_{n-1}, 1 ms per hop."""
+    net = Network(f"line-{n}")
+    for i in range(n):
+        net.add_node(Node(f"n{i}"))
+    for i in range(n - 1):
+        net.add_duplex_link(f"n{i}", f"n{i+1}", capacity_bps, ms(1))
+    return net
+
+
+@pytest.fixture
+def triangle() -> Network:
+    return build_triangle()
+
+
+@pytest.fixture
+def square() -> Network:
+    return build_square()
+
+
+@pytest.fixture
+def diamond() -> Network:
+    return build_diamond()
+
+
+@pytest.fixture
+def line4() -> Network:
+    return build_line(4)
+
+
+@pytest.fixture
+def gts() -> Network:
+    from repro.net.zoo import gts_like
+
+    return gts_like()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_tm() -> TrafficMatrix:
+    return TrafficMatrix(
+        {("a", "b"): Gbps(2), ("a", "c"): Gbps(1), ("b", "c"): Gbps(1)}
+    )
+
+
+def loaded_gts_tm(network, seed: int = 0, locality: float = 1.0,
+                  growth_factor: float = 1.3) -> TrafficMatrix:
+    """A paper-style workload on the GTS-like network."""
+    from repro.tm import (
+        apply_locality,
+        gravity_traffic_matrix,
+        scale_to_growth_headroom,
+    )
+
+    rng = np.random.default_rng(seed)
+    tm = gravity_traffic_matrix(network, rng)
+    tm = apply_locality(network, tm, locality)
+    return scale_to_growth_headroom(network, tm, growth_factor)
+
+
+@pytest.fixture
+def gts_tm(gts) -> TrafficMatrix:
+    return loaded_gts_tm(gts)

@@ -1,0 +1,144 @@
+"""Unit tests for APA and LLPD."""
+
+import pytest
+
+from repro.core.metrics import (
+    ApaParameters,
+    apa_all_pairs,
+    apa_cdf,
+    llpd,
+    llpd_from_apa,
+    pair_apa,
+)
+from repro.net.graph import Network, Node
+from repro.net.units import Gbps, ms
+
+
+class TestApaParameters:
+    def test_defaults(self):
+        params = ApaParameters()
+        assert params.stretch_limit == 1.4
+        assert params.llpd_threshold == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApaParameters(stretch_limit=0.9)
+        with pytest.raises(ValueError):
+            ApaParameters(max_alternates=0)
+        with pytest.raises(ValueError):
+            ApaParameters(llpd_threshold=1.5)
+
+
+class TestPairApa:
+    def test_line_has_zero_apa(self, line4):
+        # No alternates exist anywhere on a chain.
+        assert pair_apa(line4, "n0", "n3") == 0.0
+
+    def test_triangle_full_apa(self, triangle):
+        # The single link a->b can be routed around via c at stretch 2.0.
+        generous = ApaParameters(stretch_limit=2.0)
+        assert pair_apa(triangle, "a", "b", generous) == 1.0
+
+    def test_triangle_stretch_limit_binds(self, triangle):
+        # Stretch 2.0 exceeds the default 1.4 limit.
+        assert pair_apa(triangle, "a", "b") == 0.0
+
+    def test_capacity_gates_viability(self):
+        """An alternate thinner than the shortest path's bottleneck does
+        not count, per the paper's 1 Gb/s vs 100 Gb/s example."""
+        net = Network("thin-alt")
+        for name in ("s", "t", "alt"):
+            net.add_node(Node(name))
+        net.add_duplex_link("s", "t", Gbps(100), ms(10))
+        net.add_duplex_link("s", "alt", Gbps(1), ms(5))
+        net.add_duplex_link("alt", "t", Gbps(1), ms(6))
+        assert pair_apa(net, "s", "t") == 0.0
+        # With a fat alternate it becomes routable-around.
+        fat = Network("fat-alt")
+        for name in ("s", "t", "alt"):
+            fat.add_node(Node(name))
+        fat.add_duplex_link("s", "t", Gbps(100), ms(10))
+        fat.add_duplex_link("s", "alt", Gbps(100), ms(5))
+        fat.add_duplex_link("alt", "t", Gbps(100), ms(6))
+        assert pair_apa(fat, "s", "t") == 1.0
+
+    def test_multiple_alternates_combine_capacity(self):
+        """Two thin alternates whose min-cut jointly reaches the required
+        bottleneck count, with the delay of the n-th path."""
+        net = Network("combine")
+        for name in ("s", "t", "p", "q"):
+            net.add_node(Node(name))
+        net.add_duplex_link("s", "t", Gbps(10), ms(10))
+        # Two disjoint 5G alternates within the stretch budget.
+        net.add_duplex_link("s", "p", Gbps(5), ms(5))
+        net.add_duplex_link("p", "t", Gbps(5), ms(6))
+        net.add_duplex_link("s", "q", Gbps(5), ms(6))
+        net.add_duplex_link("q", "t", Gbps(5), ms(7))
+        assert pair_apa(net, "s", "t") == 1.0
+
+    def test_combined_capacity_insufficient(self):
+        net = Network("insufficient")
+        for name in ("s", "t", "p"):
+            net.add_node(Node(name))
+        net.add_duplex_link("s", "t", Gbps(10), ms(10))
+        net.add_duplex_link("s", "p", Gbps(5), ms(5))
+        net.add_duplex_link("p", "t", Gbps(5), ms(6))
+        assert pair_apa(net, "s", "t") == 0.0
+
+    def test_partial_apa(self):
+        """Only some links on the shortest path can be routed around."""
+        net = Network("partial")
+        for name in ("s", "m", "t", "d"):
+            net.add_node(Node(name))
+        net.add_duplex_link("s", "m", Gbps(10), ms(10))
+        net.add_duplex_link("m", "t", Gbps(10), ms(10))
+        # Detour only around the first hop.
+        net.add_duplex_link("s", "d", Gbps(10), ms(5))
+        net.add_duplex_link("d", "m", Gbps(10), ms(6))
+        assert pair_apa(net, "s", "t") == pytest.approx(0.5)
+
+
+class TestNetworkLevel:
+    def test_all_pairs_cover(self, triangle):
+        values = apa_all_pairs(triangle)
+        assert len(values) == 6
+
+    def test_apa_cdf_sorted(self, gts):
+        cdf = apa_cdf(apa_all_pairs(gts))
+        assert (cdf[:-1] <= cdf[1:]).all()
+        assert 0.0 <= cdf[0] and cdf[-1] <= 1.0
+
+    def test_llpd_class_ordering(self, rng):
+        """The paper's qualitative ranking: trees ~ 0, rings mid,
+        grids/meshes high."""
+        from repro.net.zoo import grid_network, ring_network, tree_network
+
+        tree = tree_network(14, rng)
+        ring = ring_network(12, rng)
+        grid = grid_network(4, 5, rng)
+        assert llpd(tree) == 0.0
+        assert llpd(tree) <= llpd(ring) <= llpd(grid)
+        assert llpd(grid) > 0.4
+
+    def test_llpd_from_apa_matches(self, gts):
+        values = apa_all_pairs(gts)
+        assert llpd_from_apa(values) == pytest.approx(llpd(gts))
+
+    def test_llpd_empty_rejected(self):
+        net = Network("lonely")
+        net.add_node(Node("a"))
+        with pytest.raises(ValueError):
+            llpd(net)
+
+    def test_llpd_threshold_monotone(self, gts):
+        values = apa_all_pairs(gts)
+        strict = llpd_from_apa(values, threshold=0.9)
+        loose = llpd_from_apa(values, threshold=0.5)
+        assert strict <= loose
+
+    def test_google_has_highest_llpd(self):
+        """Figure 19: the Google-like network tops the zoo."""
+        from repro.net.zoo import google_like, gts_like
+
+        assert llpd(google_like()) > llpd(gts_like())
+        assert llpd(google_like()) > 0.75

@@ -1,0 +1,132 @@
+"""Unit tests for the multiplexing checks (temporal + convolution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiplexing import (
+    check_link_multiplexing,
+    exceedance_probability,
+    transient_queue_delay_s,
+)
+
+
+class TestTemporalQueue:
+    def test_no_queue_under_capacity(self):
+        samples = [np.full(10, 4.0), np.full(10, 4.0)]
+        assert transient_queue_delay_s(samples, capacity_bps=10.0) == 0.0
+
+    def test_sustained_overload_grows_queue(self):
+        samples = [np.full(10, 6.0), np.full(10, 6.0)]
+        # 2 b/s of excess for 10 intervals of 0.1 s = 2 bits of queue,
+        # drained at 10 b/s -> 0.2 s.
+        delay = transient_queue_delay_s(samples, capacity_bps=10.0)
+        assert delay == pytest.approx(0.2)
+
+    def test_burst_carries_over(self):
+        burst = np.array([20.0, 0.0, 0.0])
+        delay = transient_queue_delay_s([burst], capacity_bps=10.0)
+        # One interval at +10 b/s -> 1 bit of queue -> 0.1 s drain.
+        assert delay == pytest.approx(0.1)
+
+    def test_queue_drains_between_bursts(self):
+        trace = np.array([15.0, 5.0, 15.0, 5.0])
+        delay = transient_queue_delay_s([trace], capacity_bps=10.0)
+        # Queue never exceeds one interval's 0.5 bit excess.
+        assert delay == pytest.approx(0.05)
+
+    def test_empty_passes(self):
+        assert transient_queue_delay_s([], 10.0) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            transient_queue_delay_s([np.zeros(3), np.zeros(4)], 1.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            transient_queue_delay_s([np.zeros(3)], 0.0)
+
+
+class TestExceedance:
+    def test_constant_below_capacity(self):
+        samples = [np.full(100, 3.0), np.full(100, 3.0)]
+        assert exceedance_probability(samples, capacity_bps=10.0) < 1e-9
+
+    def test_constant_above_capacity(self):
+        samples = [np.full(100, 6.0), np.full(100, 6.0)]
+        assert exceedance_probability(samples, capacity_bps=10.0) > 0.99
+
+    def test_independent_tail(self):
+        """Two aggregates each exceeding 5 with probability 0.1: the sum
+        exceeds 10 only when both spike -> probability about 0.01."""
+        rng = np.random.default_rng(0)
+        a = np.where(rng.random(20000) < 0.1, 6.0, 2.0)
+        b = np.where(rng.random(20000) < 0.1, 6.0, 2.0)
+        probability = exceedance_probability([a, b], capacity_bps=10.0)
+        assert probability == pytest.approx(0.01, rel=0.2)
+
+    def test_matches_direct_convolution(self):
+        """FFT result agrees with a brute-force enumeration."""
+        rng = np.random.default_rng(7)
+        a = rng.uniform(0.0, 5.0, size=400)
+        b = rng.uniform(0.0, 5.0, size=400)
+        capacity = 7.0
+        probability = exceedance_probability([a, b], capacity)
+        direct = np.mean(a[:, None] + b[None, :] > capacity)
+        assert probability == pytest.approx(direct, abs=0.02)
+
+    def test_empty_zero(self):
+        assert exceedance_probability([], 1.0) == 0.0
+
+    def test_all_zero_traffic(self):
+        assert exceedance_probability([np.zeros(10)], 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exceedance_probability([np.ones(4)], 0.0)
+        with pytest.raises(ValueError):
+            exceedance_probability([np.ones(4)], 1.0, levels=1)
+
+
+class TestCheckLink:
+    def test_peak_filter_short_circuits(self):
+        samples = [np.full(600, 1.0), np.full(600, 2.0)]
+        check = check_link_multiplexing(samples, capacity_bps=10.0)
+        assert check.passed
+        assert check.decided_by == "peak-filter"
+
+    def test_temporal_failure(self):
+        # Correlated burst: both aggregates spike together far beyond
+        # capacity for a sustained period.
+        burst = np.concatenate([np.full(100, 10.0), np.full(500, 1.0)])
+        check = check_link_multiplexing([burst, burst], capacity_bps=12.0)
+        assert not check.passed
+        assert check.decided_by == "temporal"
+        assert check.queue_delay_s > 0.010
+
+    def test_convolution_pass_for_independent_bursts(self):
+        rng = np.random.default_rng(1)
+        # Rare independent spikes: temporally fine, statistically fine.
+        def trace():
+            return np.where(rng.random(600) < 0.001, 8.0, 1.0)
+
+        check = check_link_multiplexing(
+            [trace(), trace()], capacity_bps=10.0
+        )
+        assert check.passed
+
+    def test_convolution_failure(self):
+        rng = np.random.default_rng(2)
+        # Spikes small enough that an isolated co-spike drains within the
+        # queue budget (so the temporal test passes) but frequent enough
+        # that the statistical exceedance is far above the threshold.
+        def trace():
+            return np.where(rng.random(600) < 0.05, 5.4, 3.0)
+
+        check = check_link_multiplexing([trace(), trace()], capacity_bps=10.0)
+        assert not check.passed
+        assert check.decided_by == "convolution"
+        assert check.exceed_probability > 1e-3
+
+    def test_empty_passes(self):
+        check = check_link_multiplexing([], capacity_bps=1.0)
+        assert check.passed

@@ -1,0 +1,156 @@
+"""Unit tests for the LP modelling layer."""
+
+import pytest
+
+from repro.lp import (
+    InfeasibleError,
+    LinearProgram,
+    LinExpr,
+    UnboundedError,
+)
+
+
+class TestLinExpr:
+    def test_add_term_accumulates(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        expr = LinExpr()
+        expr.add_term(x, 1.0)
+        expr.add_term(x, 2.0)
+        assert expr.terms[x] == 3.0
+
+    def test_addition(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        expr = LinExpr({x: 1.0}) + LinExpr({y: 2.0})
+        assert expr.terms == {x: 1.0, y: 2.0}
+
+    def test_add_variable(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        expr = LinExpr({x: 1.0}) + y
+        assert expr.terms == {x: 1.0, y: 1.0}
+
+    def test_scalar_multiplication(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        expr = LinExpr({x: 2.0}) * 3.0
+        assert expr.terms[x] == 6.0
+
+    def test_variable_times_scalar(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        assert (x * 4.0).terms[x] == 4.0
+        assert (4.0 * x).terms[x] == 4.0
+
+
+class TestSolve:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        y = lp.variable("y")
+        lp.add_constraint(LinExpr({x: 1.0, y: 1.0}), ">=", 1.0)
+        lp.minimize(LinExpr({x: 1.0, y: 2.0}))
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.value(x) == pytest.approx(1.0)
+        assert solution.value(y) == pytest.approx(0.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        y = lp.variable("y")
+        lp.add_constraint(LinExpr({x: 1.0, y: 1.0}), "==", 5.0)
+        lp.minimize(LinExpr({x: 3.0, y: 1.0}))
+        solution = lp.solve()
+        assert solution.value(y) == pytest.approx(5.0)
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=2.0)
+        y = lp.variable("y")
+        lp.add_constraint(LinExpr({x: 1.0, y: 1.0}), ">=", 5.0)
+        lp.minimize(LinExpr({x: 1.0, y: 10.0}))
+        solution = lp.solve()
+        assert solution.value(x) == pytest.approx(2.0)
+        assert solution.value(y) == pytest.approx(3.0)
+
+    def test_lower_bounds(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lower=1.5)
+        lp.minimize(LinExpr({x: 1.0}))
+        assert lp.solve().value(x) == pytest.approx(1.5)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=1.0)
+        lp.add_constraint(LinExpr({x: 1.0}), ">=", 2.0)
+        lp.minimize(LinExpr({x: 1.0}))
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.minimize(LinExpr({x: -1.0}))
+        with pytest.raises(UnboundedError):
+            lp.solve()
+
+    def test_no_objective_raises(self):
+        lp = LinearProgram()
+        lp.variable("x")
+        with pytest.raises(ValueError, match="objective"):
+            lp.solve()
+
+    def test_constraint_on_bare_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.add_constraint(x, ">=", 3.0)
+        lp.minimize(LinExpr({x: 1.0}))
+        assert lp.solve().value(x) == pytest.approx(3.0)
+
+    def test_invalid_sense_rejected(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        with pytest.raises(ValueError, match="sense"):
+            lp.add_constraint(x, "<", 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.variable("x", lower=2.0, upper=1.0)
+
+    def test_variables_helper(self):
+        lp = LinearProgram()
+        xs = lp.variables("x", 5)
+        assert len(xs) == 5
+        assert lp.num_variables == 5
+        assert xs[3].name == "x[3]"
+
+    def test_counts(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.add_constraint(x, ">=", 0.0)
+        lp.add_constraint(x, "<=", 5.0)
+        assert lp.num_constraints == 2
+
+    def test_values_batch(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x", lower=1.0), lp.variable("y", lower=2.0)
+        lp.minimize(LinExpr({x: 1.0, y: 1.0}))
+        solution = lp.solve()
+        assert solution.values([x, y]) == pytest.approx([1.0, 2.0])
+
+    def test_degenerate_transport_problem(self):
+        # Classic 2x2 transportation LP with a known optimum.
+        lp = LinearProgram()
+        x11, x12 = lp.variable("x11"), lp.variable("x12")
+        x21, x22 = lp.variable("x21"), lp.variable("x22")
+        lp.add_constraint(LinExpr({x11: 1.0, x12: 1.0}), "==", 10.0)
+        lp.add_constraint(LinExpr({x21: 1.0, x22: 1.0}), "==", 20.0)
+        lp.add_constraint(LinExpr({x11: 1.0, x21: 1.0}), "==", 15.0)
+        lp.add_constraint(LinExpr({x12: 1.0, x22: 1.0}), "==", 15.0)
+        lp.minimize(LinExpr({x11: 1.0, x12: 4.0, x21: 2.0, x22: 1.0}))
+        solution = lp.solve()
+        # Ship as much as possible on the cheap arcs: x11=10, x21=5, x22=15.
+        assert solution.objective == pytest.approx(10 + 10 + 15)

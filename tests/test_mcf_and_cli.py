@@ -1,0 +1,94 @@
+"""Tests for the concurrent-flow machinery and the CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro.net.paths import path_delay_s, path_links
+from repro.net.units import Gbps
+from repro.routing.minmax import mcf_seed_paths, optimal_max_utilization
+from repro.tm import TrafficMatrix
+from repro.tm.scale import max_scale_flows
+
+
+class TestMaxScaleFlows:
+    def test_flows_route_the_matrix(self, diamond):
+        tm = TrafficMatrix({("s", "t"): Gbps(20)})
+        lam, flows = max_scale_flows(diamond, tm)
+        assert lam == pytest.approx(2.5)  # 50G of s-t capacity / 20G demand
+        per_link = flows["s"]
+        # Conservation at the source: everything leaves s.
+        out = per_link.get(("s", "x"), 0.0) + per_link.get(("s", "y"), 0.0)
+        assert out == pytest.approx(Gbps(20), rel=1e-6)
+
+    def test_flows_respect_scaled_capacity(self, diamond):
+        tm = TrafficMatrix({("s", "t"): Gbps(20)})
+        lam, flows = max_scale_flows(diamond, tm)
+        for key, value in flows["s"].items():
+            capacity = diamond.link(*key).capacity_bps
+            # Flow at scale 1 on a link is at most capacity / lambda.
+            assert value <= capacity / lam * (1 + 1e-6)
+
+    def test_want_flows_false_skips(self, diamond):
+        tm = TrafficMatrix({("s", "t"): Gbps(1)})
+        lam, flows = max_scale_flows(diamond, tm, want_flows=False)
+        assert flows is None
+        assert lam > 0
+
+
+class TestMcfSeedPaths:
+    def test_seeds_achieve_optimum(self, gts, gts_tm):
+        target, seeds = mcf_seed_paths(gts, gts_tm)
+        assert target == pytest.approx(1 / 1.3, rel=1e-3)
+        assert seeds
+        # Every seed path connects its pair.
+        for (src, dst), paths in seeds.items():
+            for path in paths:
+                assert path[0] == src and path[-1] == dst
+
+    def test_seed_paths_are_simple(self, diamond):
+        tm = TrafficMatrix({("s", "t"): Gbps(30)})
+        target, seeds = mcf_seed_paths(diamond, tm)
+        for paths in seeds.values():
+            for path in paths:
+                assert len(set(path)) == len(path)
+
+    def test_split_demand_gets_both_paths(self, diamond):
+        # 30G cannot fit on either route alone: the seed decomposition
+        # must use both.
+        tm = TrafficMatrix({("s", "t"): Gbps(30)})
+        _, seeds = mcf_seed_paths(diamond, tm)
+        assert len(seeds[("s", "t")]) == 2
+
+    def test_matches_optimal_max_utilization(self, gts, gts_tm):
+        target, _ = mcf_seed_paths(gts, gts_tm)
+        assert target == pytest.approx(
+            optimal_max_utilization(gts, gts_tm), rel=1e-9
+        )
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out
+
+    def test_unknown_figure(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_fig09_runs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig09", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "measured/predicted" in out
+
+    def test_fig07_runs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "minmax" in out

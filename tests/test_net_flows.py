@@ -1,0 +1,63 @@
+"""Unit tests for max-flow / min-cut."""
+
+import pytest
+
+from repro.net.flows import max_flow_bps, min_cut_bps
+from repro.net.graph import Network, Node
+from repro.net.units import Gbps, ms
+
+
+class TestMaxFlow:
+    def test_single_path(self, line4):
+        assert max_flow_bps(line4, "n0", "n3") == pytest.approx(Gbps(10))
+
+    def test_parallel_paths_add(self, diamond):
+        assert max_flow_bps(diamond, "s", "t") == pytest.approx(Gbps(50))
+
+    def test_triangle(self, triangle):
+        # Direct link plus two-hop path.
+        assert max_flow_bps(triangle, "a", "b") == pytest.approx(Gbps(20))
+
+    def test_disconnected_zero(self):
+        net = Network("disc")
+        net.add_node(Node("a"))
+        net.add_node(Node("b"))
+        assert max_flow_bps(net, "a", "b") == 0.0
+
+    def test_same_endpoints_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            max_flow_bps(triangle, "a", "a")
+
+    def test_bottleneck_in_middle(self):
+        net = Network("bottleneck")
+        for name in "abcd":
+            net.add_node(Node(name))
+        net.add_duplex_link("a", "b", Gbps(100), ms(1))
+        net.add_duplex_link("b", "c", Gbps(1), ms(1))
+        net.add_duplex_link("c", "d", Gbps(100), ms(1))
+        assert max_flow_bps(net, "a", "d") == pytest.approx(Gbps(1))
+
+    def test_restricted_links(self, diamond):
+        # Restricting to the fast path's links excludes the fat path.
+        flow = max_flow_bps(
+            diamond, "s", "t", restrict_links=[("s", "x"), ("x", "t")]
+        )
+        assert flow == pytest.approx(Gbps(10))
+
+    def test_restricted_links_disconnected(self, diamond):
+        assert max_flow_bps(diamond, "s", "t", restrict_links=[("s", "x")]) == 0.0
+
+    def test_directionality(self):
+        net = Network("one-way")
+        net.add_node(Node("a"))
+        net.add_node(Node("b"))
+        from repro.net.graph import Link
+
+        net.add_link(Link("a", "b", Gbps(5), ms(1)))
+        assert max_flow_bps(net, "a", "b") == pytest.approx(Gbps(5))
+        assert max_flow_bps(net, "b", "a") == 0.0
+
+    def test_min_cut_equals_max_flow(self, diamond):
+        assert min_cut_bps(diamond, "s", "t") == pytest.approx(
+            max_flow_bps(diamond, "s", "t")
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for shortest paths, Yen's KSP and the path cache."""
+
+import pytest
+
+from repro.net.graph import Network, Node
+from repro.net.paths import (
+    KspCache,
+    NoPathError,
+    all_pairs_shortest_paths,
+    is_simple,
+    k_shortest_paths,
+    path_bottleneck_bps,
+    path_delay_s,
+    path_links,
+    shortest_path,
+    shortest_path_delays,
+)
+from repro.net.units import Gbps, ms
+
+
+class TestPathHelpers:
+    def test_path_links(self):
+        assert path_links(("a", "b", "c")) == [("a", "b"), ("b", "c")]
+
+    def test_path_links_single_node(self):
+        assert path_links(("a",)) == []
+
+    def test_path_delay(self, triangle):
+        assert path_delay_s(triangle, ("a", "b", "c")) == pytest.approx(ms(2))
+
+    def test_path_bottleneck(self, diamond):
+        assert path_bottleneck_bps(diamond, ("s", "x", "t")) == Gbps(10)
+        assert path_bottleneck_bps(diamond, ("s", "y", "t")) == Gbps(40)
+
+    def test_bottleneck_of_empty_path_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            path_bottleneck_bps(triangle, ("a",))
+
+    def test_is_simple(self):
+        assert is_simple(("a", "b", "c"))
+        assert not is_simple(("a", "b", "a"))
+
+
+class TestShortestPath:
+    def test_direct_link_wins(self, triangle):
+        assert shortest_path(triangle, "a", "b") == ("a", "b")
+
+    def test_follows_lowest_delay(self, diamond):
+        assert shortest_path(diamond, "s", "t") == ("s", "x", "t")
+
+    def test_same_endpoints_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            shortest_path(triangle, "a", "a")
+
+    def test_unknown_node_rejected(self, triangle):
+        with pytest.raises(KeyError):
+            shortest_path(triangle, "zz", "a")
+
+    def test_disconnected_raises(self):
+        net = Network("disc")
+        net.add_node(Node("a"))
+        net.add_node(Node("b"))
+        with pytest.raises(NoPathError):
+            shortest_path(net, "a", "b")
+
+    def test_excluded_link_forces_detour(self, triangle):
+        path = shortest_path(triangle, "a", "b", excluded_links={("a", "b")})
+        assert path == ("a", "c", "b")
+
+    def test_excluded_node_forces_detour(self, diamond):
+        path = shortest_path(diamond, "s", "t", excluded_nodes={"x"})
+        assert path == ("s", "y", "t")
+
+    def test_delays_from_source(self, line4):
+        delays = shortest_path_delays(line4, "n0")
+        assert delays["n1"] == pytest.approx(ms(1))
+        assert delays["n3"] == pytest.approx(ms(3))
+        assert "n0" not in delays
+
+    def test_all_pairs(self, triangle):
+        paths = all_pairs_shortest_paths(triangle)
+        assert len(paths) == 6
+        assert paths[("a", "c")] == ("a", "c")
+
+
+class TestYenKsp:
+    def test_yields_in_delay_order(self, diamond):
+        paths = list(k_shortest_paths(diamond, "s", "t"))
+        delays = [path_delay_s(diamond, p) for p in paths]
+        assert delays == sorted(delays)
+        assert paths[0] == ("s", "x", "t")
+
+    def test_exhausts_simple_paths(self, square):
+        # a->c in a square: exactly two simple paths.
+        paths = list(k_shortest_paths(square, "a", "c"))
+        assert len(paths) == 2
+        assert set(paths) == {("a", "b", "c"), ("a", "d", "c")}
+
+    def test_all_paths_simple(self, gts):
+        paths = []
+        generator = k_shortest_paths(gts, "n0-0", "n3-5")
+        for _ in range(12):
+            paths.append(next(generator))
+        assert all(is_simple(p) for p in paths)
+        assert len(set(paths)) == len(paths)
+
+    def test_disconnected_yields_nothing(self):
+        net = Network("disc")
+        net.add_node(Node("a"))
+        net.add_node(Node("b"))
+        assert list(k_shortest_paths(net, "a", "b")) == []
+
+    def test_triangle_paths(self, triangle):
+        paths = list(k_shortest_paths(triangle, "a", "b"))
+        assert paths == [("a", "b"), ("a", "c", "b")]
+
+
+class TestKspCache:
+    def test_get_returns_k_paths(self, gts):
+        cache = KspCache(gts)
+        paths = cache.get("n0-0", "n2-3", 4)
+        assert len(paths) == 4
+        delays = [path_delay_s(gts, p) for p in paths]
+        assert delays == sorted(delays)
+
+    def test_incremental_extension_consistent(self, gts):
+        cache = KspCache(gts)
+        first_two = cache.get("n0-0", "n2-3", 2)
+        five = cache.get("n0-0", "n2-3", 5)
+        assert five[:2] == first_two
+
+    def test_matches_uncached_yen(self, square):
+        cache = KspCache(square)
+        assert cache.get("a", "c", 5) == list(k_shortest_paths(square, "a", "c"))
+
+    def test_exhaustion_returns_fewer(self, square):
+        cache = KspCache(square)
+        assert len(cache.get("a", "c", 99)) == 2
+
+    def test_shortest(self, diamond):
+        cache = KspCache(diamond)
+        assert cache.shortest("s", "t") == ("s", "x", "t")
+
+    def test_shortest_raises_when_disconnected(self):
+        net = Network("disc")
+        net.add_node(Node("a"))
+        net.add_node(Node("b"))
+        cache = KspCache(net)
+        with pytest.raises(NoPathError):
+            cache.shortest("a", "b")
+
+    def test_invalid_k_rejected(self, triangle):
+        cache = KspCache(triangle)
+        with pytest.raises(ValueError):
+            cache.get("a", "b", 0)
+
+    def test_count_cached(self, triangle):
+        cache = KspCache(triangle)
+        assert cache.count_cached("a", "b") == 0
+        cache.get("a", "b", 2)
+        assert cache.count_cached("a", "b") == 2

@@ -1,0 +1,49 @@
+"""Tests for the Figure 12 overload-spreading objective and the clique
+observation from Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import apa_all_pairs
+from repro.net.units import Gbps
+from repro.net.zoo import clique_network
+from repro.routing import LatencyOptimalRouting
+from repro.tm import TrafficMatrix
+
+
+class TestOverloadSpreading:
+    def test_unavoidable_congestion_spread_equally(self, diamond):
+        """Figure 12's last objective layer: "If aggregates' demands
+        globally exceed the capacity of possible paths, congestion cannot
+        be avoided.  In this case the formulation spreads traffic as
+        equally as possible across all links."
+
+        60G into 50G of s-t capacity: the optimum overloads both routes
+        to the same 1.2 utilization rather than crushing one of them.
+        """
+        tm = TrafficMatrix({("s", "t"): Gbps(60)})
+        placement = LatencyOptimalRouting().place(diamond, tm)
+        assert not placement.fits_all_traffic
+        utils = placement.link_utilizations()
+        assert utils[("s", "x")] == pytest.approx(1.2, rel=0.01)
+        assert utils[("s", "y")] == pytest.approx(1.2, rel=0.01)
+
+    def test_partial_overload_spares_disjoint_links(self, diamond):
+        """Only links on the congested pair's paths take overload."""
+        tm = TrafficMatrix(
+            {("s", "t"): Gbps(60), ("x", "y"): Gbps(1)}
+        )
+        placement = LatencyOptimalRouting().place(diamond, tm)
+        utils = placement.link_utilizations()
+        # The cross traffic's own links are not dragged beyond capacity.
+        assert utils[("x", "s")] <= 1.2 + 0.01
+
+
+class TestCliqueApa:
+    def test_clique_apa_is_two_level(self):
+        """Figure 1: "A few curves are horizontal lines; these are clique
+        topologies" — with single-link shortest paths, APA per pair is
+        exactly 0 or 1, so the CDF has at most two levels."""
+        net = clique_network(7, np.random.default_rng(21))
+        values = set(apa_all_pairs(net).values())
+        assert values <= {0.0, 1.0}

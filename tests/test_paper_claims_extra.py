@@ -1,0 +1,97 @@
+"""Additional paper-claim tests not tied to a numbered figure."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import apa_all_pairs, llpd_from_apa
+from repro.net.zoo import generate_zoo
+from repro.routing import B4Routing, MinMaxRouting, ShortestPathRouting
+from repro.tm import (
+    apply_locality,
+    gravity_traffic_matrix,
+    scale_to_growth_headroom,
+)
+
+
+def spearman_rank_correlation(a, b) -> float:
+    ranks_a = np.argsort(np.argsort(a))
+    ranks_b = np.argsort(np.argsort(b))
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+
+class TestLlpdThresholdRobustness:
+    def test_rank_ordering_stable_across_thresholds(self):
+        """§2: "The choice of 0.7 here is not crucial; the rank ordering
+        does not change greatly if we choose a different threshold in the
+        upper half of the distribution."""
+        networks = generate_zoo(14, seed=3, include_named=False)
+        apa_values = [apa_all_pairs(net) for net in networks]
+        at_06 = [llpd_from_apa(v, threshold=0.6) for v in apa_values]
+        at_07 = [llpd_from_apa(v, threshold=0.7) for v in apa_values]
+        at_08 = [llpd_from_apa(v, threshold=0.8) for v in apa_values]
+        assert spearman_rank_correlation(at_06, at_07) > 0.85
+        assert spearman_rank_correlation(at_07, at_08) > 0.85
+
+    def test_llpd_monotone_in_threshold(self):
+        networks = generate_zoo(6, seed=4, include_named=False)
+        for net in networks:
+            values = apa_all_pairs(net)
+            series = [
+                llpd_from_apa(values, threshold=t)
+                for t in (0.5, 0.6, 0.7, 0.8, 0.9)
+            ]
+            assert series == sorted(series, reverse=True)
+
+
+class TestLoadExtremes:
+    @pytest.fixture(scope="class")
+    def network(self, request):
+        from repro.net.zoo import gts_like
+
+        return gts_like()
+
+    def base_tm(self, network, growth_factor):
+        rng = np.random.default_rng(6)
+        tm = gravity_traffic_matrix(network, rng)
+        tm = apply_locality(network, tm, 1.0)
+        return scale_to_growth_headroom(network, tm, growth_factor)
+
+    def test_b4_optimal_at_low_load(self, network):
+        """§6: "at low load, when everything fits on the shortest path,
+        B4 is optimal"."""
+        tm = self.base_tm(network, growth_factor=6.0)  # ~17% min-cut load
+        b4 = B4Routing().place(network, tm)
+        sp = ShortestPathRouting().place(network, tm)
+        assert sp.congested_pair_fraction() == 0.0  # everything fits on SP
+        assert b4.total_latency_stretch() == pytest.approx(1.0, abs=1e-9)
+
+    def test_minmax_detours_even_at_low_load(self, network):
+        """§6: "under low loads MinMax chooses circuitous routes as it
+        tries to minimize peak link utilization"."""
+        tm = self.base_tm(network, growth_factor=6.0)
+        minmax = MinMaxRouting().place(network, tm)
+        # With the paper's latency tie-break the detours are small but
+        # strictly present: utilization-first still moves some traffic
+        # off shortest paths even when everything would fit on them.
+        assert minmax.total_latency_stretch() > 1.0 + 1e-6
+        assert minmax.max_utilization() < 0.2
+        assert minmax.max_path_stretch() > 1.0 + 1e-3
+
+    def test_minmax_approaches_optimal_at_high_load(self, network):
+        """§6: "Under very high load we see that unrestricted MinMax
+        becomes close to optimal, as options for re-routing become
+        limited"."""
+        from repro.routing import LatencyOptimalRouting
+
+        light = self.base_tm(network, growth_factor=2.0)
+        heavy = self.base_tm(network, growth_factor=1.05)
+        gaps = []
+        for tm in (light, heavy):
+            minmax = MinMaxRouting().place(network, tm)
+            optimal = LatencyOptimalRouting().place(network, tm)
+            gaps.append(
+                minmax.total_latency_stretch()
+                - optimal.total_latency_stretch()
+            )
+        # The MinMax-vs-optimal stretch gap shrinks as load rises.
+        assert gaps[1] <= gaps[0] + 1e-9

@@ -1,0 +1,67 @@
+"""Regression pins: exact values that must stay stable across refactors.
+
+Everything here is deterministic (fixed seeds, exact LP optima).  If a
+change moves one of these numbers, it changed behaviour — intentionally or
+not — and this file makes that visible at review time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import llpd
+from repro.net.zoo import (
+    cogent_like,
+    generate_zoo,
+    globalcenter_like,
+    google_like,
+    gts_like,
+)
+from repro.routing import LatencyOptimalRouting, MinMaxRouting
+from tests.conftest import loaded_gts_tm
+
+
+class TestNamedReplicaPins:
+    def test_llpd_values(self):
+        assert llpd(gts_like()) == pytest.approx(0.5833, abs=1e-3)
+        assert llpd(cogent_like()) == pytest.approx(0.5579, abs=1e-3)
+        assert llpd(globalcenter_like()) == pytest.approx(0.5, abs=1e-3)
+        assert llpd(google_like()) == pytest.approx(0.8406, abs=1e-3)
+
+    def test_topology_sizes(self):
+        assert (gts_like().num_nodes, gts_like().num_links) == (24, 80)
+        assert google_like().num_nodes == 24
+
+    def test_zoo_generation_stable(self):
+        zoo = generate_zoo(5, seed=0, include_named=False)
+        assert [net.name.split("-", 2)[2] for net in zoo] == [
+            "sparse-mesh",
+            "sparse-mesh",
+            "dense-mesh",
+            "dense-mesh",
+            "star",
+        ]
+
+
+class TestWorkloadPins:
+    @pytest.fixture(scope="class")
+    def case(self):
+        network = gts_like()
+        return network, loaded_gts_tm(network, seed=0)
+
+    def test_tm_totals(self, case):
+        network, tm = case
+        assert tm.total_demand_bps / 1e9 == pytest.approx(210.38, abs=0.05)
+        assert len(tm.aggregates()) == 260
+
+    def test_optimal_stretch(self, case):
+        network, tm = case
+        placement = LatencyOptimalRouting().place(network, tm)
+        assert placement.total_latency_stretch() == pytest.approx(
+            1.0486, abs=2e-3
+        )
+
+    def test_minmax_utilization_exact(self, case):
+        network, tm = case
+        scheme = MinMaxRouting()
+        scheme.place(network, tm)
+        assert scheme.last_max_utilization == pytest.approx(1 / 1.3, abs=1e-4)
