@@ -8,14 +8,18 @@ low-LLPD (tree-like) networks show almost none.
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, emit
 from repro.experiments.figures import fig03_sp_congestion
 from repro.experiments.render import render_series
 
 
 def test_fig03_sp_congestion(benchmark, standard_workload):
     result = benchmark.pedantic(
-        fig03_sp_congestion, args=(standard_workload,), rounds=1, iterations=1
+        fig03_sp_congestion,
+        args=(standard_workload,),
+        kwargs={"n_workers": N_WORKERS},
+        rounds=1,
+        iterations=1,
     )
 
     median = result["median"]

@@ -13,7 +13,7 @@ Paper shapes:
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, emit
 from repro.experiments.figures import fig04_schemes
 from repro.experiments.render import render_series
 
@@ -24,7 +24,11 @@ def _mean(points):
 
 def test_fig04_schemes(benchmark, standard_workload):
     results = benchmark.pedantic(
-        fig04_schemes, args=(standard_workload,), rounds=1, iterations=1
+        fig04_schemes,
+        args=(standard_workload,),
+        kwargs={"n_workers": N_WORKERS},
+        rounds=1,
+        iterations=1,
     )
 
     # --- Paper shape assertions -------------------------------------

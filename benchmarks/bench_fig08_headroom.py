@@ -7,7 +7,7 @@ headroom values and only rises substantially at the 40% (MinMax) end.
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, emit
 from repro.experiments.figures import fig08_headroom_sweep
 from repro.experiments.render import render_series
 
@@ -22,7 +22,7 @@ def test_fig08_headroom(benchmark, light_workload):
     results = benchmark.pedantic(
         fig08_headroom_sweep,
         args=(light_workload,),
-        kwargs={"headrooms": HEADROOMS},
+        kwargs={"headrooms": HEADROOMS, "n_workers": N_WORKERS},
         rounds=1,
         iterations=1,
     )

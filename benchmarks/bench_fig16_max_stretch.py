@@ -12,14 +12,18 @@ Paper shapes:
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, emit
 from repro.experiments.figures import fig16_max_stretch_cdfs
 from repro.experiments.render import render_cdf
 
 
 def test_fig16_max_stretch(benchmark, standard_workload):
     results = benchmark.pedantic(
-        fig16_max_stretch_cdfs, args=(standard_workload,), rounds=1, iterations=1
+        fig16_max_stretch_cdfs,
+        args=(standard_workload,),
+        kwargs={"n_workers": N_WORKERS},
+        rounds=1,
+        iterations=1,
     )
 
     assert set(results) == {"low_h0", "high_h0", "high_h10"}

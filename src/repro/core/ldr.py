@@ -117,6 +117,9 @@ class LdrController:
         self.cache = cache if cache is not None else KspCache(network)
         # Predictor state persists across routing cycles, one per pair.
         self._predictors: Dict[Pair, MeanRatePredictor] = {}
+        # Path counts persist across rounds (and across route() calls) so
+        # each re-optimization is a warm start, not a rebuild from k=1.
+        self._warm_counts: Dict[Pair, int] = {}
 
     # ------------------------------------------------------------------
     def predict_demands(
@@ -145,22 +148,21 @@ class LdrController:
         link_checks: Dict[Tuple[str, str], LinkCheck] = {}
         result = None
         rounds = 0
-        # Path counts persist across rounds (and across route() calls) so
-        # each re-optimization is a warm start, not a rebuild from k=1.
-        warm_counts: Dict[Pair, int] = getattr(self, "_warm_counts", {})
-        self._warm_counts = warm_counts
         for rounds in range(1, self.config.max_rounds + 1):
             demands = {
                 pair: base_demands[pair] * scaling[pair] for pair in base_demands
             }
             tm = TrafficMatrix(demands)
             result, stats = solve_iterative_latency(
-                self.network, tm, cache=self.cache, warm_counts=warm_counts
+                self.network, tm, cache=self.cache, warm_counts=self._warm_counts
             )
             if not stats.fits:
                 # The scaled demands no longer fit the network at all: no
                 # amount of further scaling can help, so report the best
-                # placement found and stop.
+                # placement found and stop.  Any checks kept from the
+                # previous round describe a different placement, so they
+                # must not be reported against this one.
+                link_checks = {}
                 failed_history.append(
                     list(result.overloaded_links(only_maximal=False))
                 )

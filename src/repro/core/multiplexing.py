@@ -51,18 +51,32 @@ def transient_queue_delay_s(
     if len(lengths) != 1:
         raise ValueError(f"sample arrays must share a length, got {sorted(lengths)}")
     total = np.sum(aggregate_samples_bps, axis=0)
-    excess_bits = (total - capacity_bps) * interval_s
-    queue_bits = 0.0
-    worst_bits = 0.0
-    for excess in excess_bits:
-        queue_bits = max(0.0, queue_bits + excess)
-        worst_bits = max(worst_bits, queue_bits)
+    excess_bits = (np.asarray(total, dtype=float) - capacity_bps) * interval_s
+    # The queue follows the Lindley recursion q_t = max(0, q_{t-1} + e_t),
+    # whose closed form is S_t - min(0, min_{j<=t} S_j) with S the running
+    # sum of excesses — two cumulative scans instead of a Python loop,
+    # which matters because the appraise phase runs this once per link per
+    # LDR round.
+    cumulative = np.cumsum(excess_bits)
+    running_min = np.minimum(np.minimum.accumulate(cumulative), 0.0)
+    worst_bits = float(np.max(cumulative - running_min, initial=0.0))
     return worst_bits / capacity_bps
 
 
 def _pmf(samples: np.ndarray, bin_width: float, n_bins: int) -> np.ndarray:
-    """Histogram of samples as a PMF over fixed-width bins."""
-    indices = np.minimum((samples / bin_width).astype(int), n_bins - 1)
+    """Histogram of samples as a PMF over fixed-width bins.
+
+    Samples map to the *nearest* bin center: truncating instead would
+    shift every rate down by up to a full bin and systematically
+    underestimate the convolved exceedance probability.
+    """
+    if samples.size and float(samples.min()) < 0:
+        raise ValueError(
+            f"rate samples must be non-negative, got min {float(samples.min())}"
+        )
+    indices = np.minimum(
+        np.rint(samples / bin_width).astype(int), n_bins - 1
+    )
     pmf = np.bincount(indices, minlength=n_bins).astype(float)
     return pmf / pmf.sum()
 
@@ -145,6 +159,11 @@ def check_link_multiplexing(
     """
     if not aggregate_samples_bps:
         return LinkCheck(True, "peak-filter", 0.0, 0.0)
+    if any(len(samples) == 0 for samples in aggregate_samples_bps):
+        raise ValueError(
+            "every aggregate needs at least one rate sample "
+            "(the exceedance threshold divides by the measurement window)"
+        )
 
     peak_sum = sum(float(np.max(samples)) for samples in aggregate_samples_bps)
     if peak_sum <= capacity_bps:

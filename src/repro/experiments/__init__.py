@@ -3,16 +3,26 @@
 Shared by the benchmark suite (one bench per paper figure) and the example
 scripts.  :mod:`repro.experiments.workloads` builds (network, traffic
 matrix ensemble) pairs; :mod:`repro.experiments.runner` evaluates routing
-schemes over them; :mod:`repro.experiments.figures` computes each paper
-figure's series; :mod:`repro.experiments.render` prints them as text.
+schemes over them; :mod:`repro.experiments.engine` shards that evaluation
+across a process pool with persistent KSP caches;
+:mod:`repro.experiments.figures` computes each paper figure's series;
+:mod:`repro.experiments.render` prints them as text.
 """
 
 from repro.experiments.workloads import ZooWorkload, build_zoo_workload
 from repro.experiments.runner import SchemeOutcome, evaluate_scheme
+from repro.experiments.engine import (
+    EngineReport,
+    ExperimentEngine,
+    NetworkResult,
+)
 
 __all__ = [
     "ZooWorkload",
     "build_zoo_workload",
     "SchemeOutcome",
     "evaluate_scheme",
+    "EngineReport",
+    "ExperimentEngine",
+    "NetworkResult",
 ]

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.experiments fig03 [--networks 18] [--tms 2]
+    python -m repro.experiments fig03 [--networks 18] [--tms 2] [--workers 4]
     python -m repro.experiments list
 
 Benchmarks under ``benchmarks/`` do the same with timing and shape
@@ -45,7 +45,9 @@ def run_fig03(args) -> str:
     from repro.experiments.figures import fig03_sp_congestion
     from repro.experiments.render import render_series
 
-    result = fig03_sp_congestion(build_workload(args))
+    result = fig03_sp_congestion(
+        build_workload(args), n_workers=args.workers, cache_dir=args.cache_dir
+    )
     return render_series(
         "Fig 3: congested fraction vs LLPD (SP)", result, x_label="LLPD"
     )
@@ -55,7 +57,9 @@ def run_fig04(args) -> str:
     from repro.experiments.figures import fig04_schemes
     from repro.experiments.render import render_series
 
-    results = fig04_schemes(build_workload(args))
+    results = fig04_schemes(
+        build_workload(args), n_workers=args.workers, cache_dir=args.cache_dir
+    )
     series = {}
     for scheme, data in results.items():
         series[f"{scheme}:cong"] = data["congestion_median"]
@@ -83,7 +87,11 @@ def run_fig08(args) -> str:
     from repro.experiments.figures import fig08_headroom_sweep
     from repro.experiments.render import render_series
 
-    results = fig08_headroom_sweep(build_workload(args, growth_factor=1.65))
+    results = fig08_headroom_sweep(
+        build_workload(args, growth_factor=1.65),
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     return render_series(
         "Fig 8: stretch vs LLPD per headroom",
         {f"h={h:.0%}": points for h, points in results.items()},
@@ -138,6 +146,18 @@ def main(argv=None) -> int:
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard networks across this many processes (results identical)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist per-network KSP caches here; repeated and parallel "
+        "runs warm-start from disk",
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":

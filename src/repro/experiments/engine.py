@@ -1,0 +1,289 @@
+"""Parallel experiment engine: shard networks across a process pool.
+
+The paper evaluates 116 networks x 100 traffic matrices; this repo's
+runner historically walked that grid strictly serially and rebuilt every
+network's KSP cache from cold on each run.  Both costs are avoidable:
+per-network evaluations are *pure and independent* — a scheme instance,
+its KSP cache and its placements touch exactly one
+:class:`~repro.experiments.workloads.NetworkWorkload` — so they commute
+and can be fanned out across processes, and the k-shortest-paths results
+("the bottleneck is not the linear optimizer", paper §5) can be persisted
+between runs via :meth:`KspCache.dump` / :meth:`KspCache.load`.
+
+Sharding/determinism contract
+-----------------------------
+
+* The unit of work is one network (one ``NetworkWorkload``): all of its
+  traffic matrices are evaluated in order inside a single process, against
+  a single KSP cache.  Nothing is shared *across* networks, so the result
+  for network ``i`` is a pure function of ``workload.networks[i]`` and the
+  scheme factory.
+* Consequently ``run()`` returns **bit-identical** outcome lists for any
+  ``n_workers``: results are streamed back per network (in completion
+  order, exposed by :meth:`ExperimentEngine.stream`) and re-assembled into
+  workload order before they are returned.
+* Worker processes are created with the ``fork`` start method so that the
+  scheme factory (usually a closure) and the workload never need to be
+  pickled; only network indices travel to the workers and only
+  :class:`SchemeOutcome` lists travel back.  Where ``fork`` is unavailable
+  (non-POSIX platforms) the engine degrades to the deterministic serial
+  path — same results, no parallelism.
+* With a ``cache_dir``, each worker warms its network's KSP cache from
+  ``ksp-<network_signature>.json`` when a valid file exists and dumps the
+  (possibly extended) cache back after evaluating.  Files are keyed by a
+  content hash of the network, so stale caches are rejected rather than
+  trusted, and writes are atomic (write-to-temp + rename) so concurrent
+  shards never observe torn files.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import multiprocessing
+
+from repro.experiments.runner import SchemeOutcome
+from repro.experiments.workloads import NetworkWorkload, ZooWorkload
+from repro.net.paths import KspCache, ksp_cache_path
+from repro.routing.base import RoutingScheme
+
+SchemeFactory = Callable[[NetworkWorkload], RoutingScheme]
+
+#: Worker-side state inherited through ``fork``, keyed by a per-run token
+#: so concurrently advanced streams (different engines, different threads)
+#: never clobber each other; see :meth:`_stream_parallel`.
+_FORK_STATE: Dict[int, Tuple] = {}
+_FORK_STATE_LOCK = threading.Lock()
+_FORK_TOKENS = itertools.count()
+
+
+def network_id(item: NetworkWorkload, index: int) -> str:
+    """Unique id of one workload entry.
+
+    Zoo names are not unique (two generated topologies can share one), so
+    outcome grouping keys on this id: position in the workload plus name.
+    """
+    return f"{index}:{item.network.name}"
+
+
+@dataclass
+class NetworkResult:
+    """Everything one shard reports back for one network."""
+
+    index: int
+    network_name: str
+    network_id: str
+    outcomes: List[SchemeOutcome]
+    #: Wall-clock seconds spent evaluating this network's matrices
+    #: (excluding cache load/dump I/O).
+    seconds: float
+    #: KSP paths already materialized before evaluation started — nonzero
+    #: means the persistent cache produced a warm start.
+    paths_preloaded: int = 0
+
+
+@dataclass
+class EngineReport:
+    """Result of one engine run, in workload order."""
+
+    results: List[NetworkResult] = field(default_factory=list)
+
+    @property
+    def outcomes(self) -> List[SchemeOutcome]:
+        """All outcomes flattened in workload order (network, then matrix)."""
+        return [o for result in self.results for o in result.outcomes]
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of per-network evaluation times (CPU-side, not wall clock)."""
+        return sum(result.seconds for result in self.results)
+
+    def timings(self) -> List[tuple]:
+        """(network_id, seconds) pairs, workload order."""
+        return [(r.network_id, r.seconds) for r in self.results]
+
+
+class ExperimentEngine:
+    """Evaluates a routing scheme over a :class:`ZooWorkload`, sharded.
+
+    ``n_workers=1`` runs in-process (deterministic serial fallback);
+    ``n_workers>1`` shards networks across a ``fork``-based process pool.
+    ``cache_dir`` enables persistent KSP caches keyed by network content
+    hash.  See the module docstring for the full contract.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.n_workers = n_workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int] = None,
+    ) -> EngineReport:
+        """Evaluate every network; results come back in workload order."""
+        results = sorted(
+            self.stream(scheme_factory, workload, matrices_per_network),
+            key=lambda result: result.index,
+        )
+        return EngineReport(results=results)
+
+    def stream(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int] = None,
+    ) -> Iterator[NetworkResult]:
+        """Yield one :class:`NetworkResult` per network as it completes.
+
+        Serial runs yield in workload order; parallel runs yield in
+        completion order (callers needing workload order use :meth:`run`).
+        """
+        if not workload.networks:
+            return iter(())
+        workers = min(self.n_workers, len(workload.networks))
+        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            return self._stream_parallel(
+                scheme_factory, workload, matrices_per_network, workers
+            )
+        return self._stream_serial(scheme_factory, workload, matrices_per_network)
+
+    # ------------------------------------------------------------------
+    def _stream_serial(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int],
+    ) -> Iterator[NetworkResult]:
+        for index in range(len(workload.networks)):
+            yield self._evaluate_network(
+                scheme_factory, workload, matrices_per_network, index
+            )
+
+    def _stream_parallel(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int],
+        workers: int,
+    ) -> Iterator[NetworkResult]:
+        # Workers are forked, so the factory/workload (closures, caches,
+        # live generators — none of it picklable) is inherited by memory
+        # image instead of serialized.  Only the run token and the network
+        # index cross the pipe.
+        context = multiprocessing.get_context("fork")
+        with _FORK_STATE_LOCK:
+            token = next(_FORK_TOKENS)
+            _FORK_STATE[token] = (
+                self, scheme_factory, workload, matrices_per_network
+            )
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            pending = {
+                pool.submit(_forked_evaluate, token, index)
+                for index in range(len(workload.networks))
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        finally:
+            # A consumer abandoning the iterator early must not wait out
+            # the whole workload: drop everything not yet started.
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            with _FORK_STATE_LOCK:
+                _FORK_STATE.pop(token, None)
+
+    # ------------------------------------------------------------------
+    def _evaluate_network(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int],
+        index: int,
+    ) -> NetworkResult:
+        item = workload.networks[index]
+        cache_path = self._cache_path(item)
+        preloaded = 0
+        if cache_path is not None:
+            loaded = KspCache.try_load_file(cache_path, item.network)
+            if loaded is not None:
+                # Swap the cache on a copy: the caller's workload must not
+                # be mutated differently by serial vs parallel runs (the
+                # fork path only ever touches the child's memory image).
+                item = replace(item, cache=loaded)
+                preloaded = self._count_paths(item)
+        matrices = item.matrices
+        if matrices_per_network is not None:
+            matrices = matrices[:matrices_per_network]
+
+        uid = network_id(item, index)
+        start = time.perf_counter()
+        scheme = scheme_factory(item)
+        outcomes = []
+        for tm in matrices:
+            placement = scheme.place(item.network, tm)
+            outcomes.append(
+                SchemeOutcome(
+                    network_name=item.network.name,
+                    llpd=item.llpd,
+                    congested_fraction=placement.congested_pair_fraction(),
+                    latency_stretch=placement.total_latency_stretch(),
+                    max_path_stretch=placement.max_path_stretch(),
+                    max_utilization=placement.max_utilization(),
+                    fits=placement.fits_all_traffic,
+                    network_id=uid,
+                )
+            )
+        seconds = time.perf_counter() - start
+        if cache_path is not None and (
+            not os.path.exists(cache_path)
+            or self._count_paths(item) != preloaded
+        ):
+            # Skip the rewrite when evaluation added nothing: a fully-warm
+            # repeat run would otherwise re-serialize every file untouched.
+            item.cache.dump_file(cache_path)
+        return NetworkResult(
+            index=index,
+            network_name=item.network.name,
+            network_id=uid,
+            outcomes=outcomes,
+            seconds=seconds,
+            paths_preloaded=preloaded,
+        )
+
+    def _cache_path(self, item: NetworkWorkload) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return ksp_cache_path(self.cache_dir, item.network)
+
+    @staticmethod
+    def _count_paths(item: NetworkWorkload) -> int:
+        """Total materialized KSP paths in a workload item's cache."""
+        return sum(
+            item.cache.count_cached(src, dst)
+            for src, dst in item.network.node_pairs()
+        )
+
+
+def _forked_evaluate(token: int, index: int) -> NetworkResult:
+    """Worker entry point: evaluate one network from the inherited state."""
+    engine, factory, workload, matrices_per_network = _FORK_STATE[token]
+    return engine._evaluate_network(factory, workload, matrices_per_network, index)

@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.experiments.workloads import NetworkWorkload, ZooWorkload
-from repro.routing.base import Placement, RoutingScheme
-from repro.tm.matrix import TrafficMatrix
+from repro.routing.base import RoutingScheme
 
 
 @dataclass
@@ -23,38 +22,33 @@ class SchemeOutcome:
     max_path_stretch: float
     max_utilization: float
     fits: bool
+    #: Unique id of the workload entry this outcome came from.  Zoo names
+    #: are not unique, so grouping keys on this, not ``network_name``;
+    #: empty (hand-built outcomes) falls back to (name, llpd).
+    network_id: str = ""
 
 
 def evaluate_scheme(
     scheme_factory: Callable[[NetworkWorkload], RoutingScheme],
     workload: ZooWorkload,
     matrices_per_network: Optional[int] = None,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[SchemeOutcome]:
     """Run a scheme across the whole workload.
 
     ``scheme_factory`` receives the per-network workload so schemes can
     share its KSP cache; a fresh scheme per network keeps state clean.
+
+    Evaluation is delegated to :class:`repro.experiments.engine.
+    ExperimentEngine`: ``n_workers>1`` shards networks across a process
+    pool, and ``cache_dir`` persists each network's KSP cache across runs.
+    Results are identical for any worker count.
     """
-    outcomes: List[SchemeOutcome] = []
-    for item in workload.networks:
-        matrices = item.matrices
-        if matrices_per_network is not None:
-            matrices = matrices[:matrices_per_network]
-        scheme = scheme_factory(item)
-        for tm in matrices:
-            placement = scheme.place(item.network, tm)
-            outcomes.append(
-                SchemeOutcome(
-                    network_name=item.network.name,
-                    llpd=item.llpd,
-                    congested_fraction=placement.congested_pair_fraction(),
-                    latency_stretch=placement.total_latency_stretch(),
-                    max_path_stretch=placement.max_path_stretch(),
-                    max_utilization=placement.max_utilization(),
-                    fits=placement.fits_all_traffic,
-                )
-            )
-    return outcomes
+    from repro.experiments.engine import ExperimentEngine
+
+    engine = ExperimentEngine(n_workers=n_workers, cache_dir=cache_dir)
+    return engine.run(scheme_factory, workload, matrices_per_network).outcomes
 
 
 def per_network_quantiles(
@@ -67,12 +61,22 @@ def per_network_quantiles(
     This is the shape of the paper's Figures 3 and 4: networks on the
     x-axis ordered by LLPD, a per-network quantile across traffic matrices
     on the y-axis.
+
+    Outcomes are grouped by ``network_id`` (falling back to the
+    (name, llpd) pair when unset), never by name alone: two zoo networks
+    can share a name, and merging them would mislabel the merged point
+    with the first one's LLPD.
     """
     if not 0.0 <= quantile <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {quantile}")
-    by_network: Dict[str, List[SchemeOutcome]] = {}
+    by_network: Dict[Tuple, List[SchemeOutcome]] = {}
     for outcome in outcomes:
-        by_network.setdefault(outcome.network_name, []).append(outcome)
+        key = (
+            ("id", outcome.network_id)
+            if outcome.network_id
+            else ("name-llpd", outcome.network_name, outcome.llpd)
+        )
+        by_network.setdefault(key, []).append(outcome)
     points = []
     for network_outcomes in by_network.values():
         values = [getattr(o, metric) for o in network_outcomes]

@@ -14,8 +14,11 @@ from repro.net.graph import Link, Network, Node
 from repro.net.geo import great_circle_km, propagation_delay_s
 from repro.net.paths import (
     KspCache,
+    KspCacheMismatchError,
     all_pairs_shortest_paths,
     k_shortest_paths,
+    ksp_cache_path,
+    network_signature,
     path_bottleneck_bps,
     path_delay_s,
     path_links,
@@ -30,8 +33,11 @@ __all__ = [
     "great_circle_km",
     "propagation_delay_s",
     "KspCache",
+    "KspCacheMismatchError",
     "all_pairs_shortest_paths",
     "k_shortest_paths",
+    "ksp_cache_path",
+    "network_signature",
     "path_bottleneck_bps",
     "path_delay_s",
     "path_links",

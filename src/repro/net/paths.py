@@ -11,7 +11,11 @@ the cold/warm cache distinction is what its Figure 15 measures.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
+import os
+import tempfile
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.net.graph import Network
@@ -21,6 +25,53 @@ Path = Tuple[str, ...]
 
 class NoPathError(Exception):
     """Raised when no path exists between the requested endpoints."""
+
+
+class KspCacheMismatchError(ValueError):
+    """Raised when a persisted KSP cache does not match the network.
+
+    Paths cached for one topology are meaningless (and silently wrong) on
+    another, so :meth:`KspCache.load` verifies a content hash of the
+    network before accepting any cached state.
+    """
+
+
+def ksp_cache_path(directory: "os.PathLike[str] | str", network: Network) -> str:
+    """Canonical location of a network's persisted KSP cache.
+
+    Every producer and consumer of persistent caches (the experiment
+    engine's shards, the Figure 15 benchmark) must agree on this naming,
+    so it lives here rather than being rebuilt at each call site.  Pure
+    path computation — :meth:`KspCache.dump_file` (the writer) creates
+    the directory.
+    """
+    return os.path.join(
+        os.fspath(directory), f"ksp-{network_signature(network)}.json"
+    )
+
+
+def network_signature(network: Network) -> str:
+    """Content hash of a network's routing-relevant state.
+
+    Covers the name, every node (with coordinates) and every directed link
+    (with capacity and delay).  Any mutation — added/removed links, changed
+    delays or capacities — changes the signature, which is what lets
+    persisted KSP caches reject stale state instead of serving paths for a
+    topology that no longer exists.
+    """
+    digest = hashlib.sha256()
+    digest.update(network.name.encode())
+    for name in sorted(network.node_names):
+        node = network.node(name)
+        digest.update(
+            f"N|{node.name}|{node.lat_deg!r}|{node.lon_deg!r}".encode()
+        )
+    for key in sorted(link.key for link in network.links()):
+        link = network.link(*key)
+        digest.update(
+            f"L|{link.src}|{link.dst}|{link.capacity_bps!r}|{link.delay_s!r}".encode()
+        )
+    return digest.hexdigest()
 
 
 def path_links(path: Sequence[str]) -> List[Tuple[str, str]]:
@@ -202,7 +253,15 @@ class KspCache:
     it has produced so far, so asking for ``k`` paths after having asked for
     ``k' < k`` only computes the missing ``k - k'``.  Mutating the network
     after creating a cache invalidates it; create a new cache instead.
+
+    Materialized paths can be persisted with :meth:`dump` / :meth:`dump_file`
+    and restored with :meth:`load` / :meth:`load_file`; persisted state is
+    keyed by :func:`network_signature`, so a cache saved for one topology is
+    rejected on any other.
     """
+
+    #: Version tag of the :meth:`dump` payload layout.
+    DUMP_FORMAT = 1
 
     def __init__(self, network: Network) -> None:
         self._network = network
@@ -221,14 +280,28 @@ class KspCache:
         key = (src, dst)
         if key not in self._paths:
             self._paths[key] = []
-            self._generators[key] = k_shortest_paths(self._network, src, dst)
         paths = self._paths[key]
         while len(paths) < k and key not in self._exhausted:
             try:
-                paths.append(next(self._generators[key]))
+                paths.append(next(self._generator(key)))
             except StopIteration:
                 self._exhausted.add(key)
         return paths[:k]
+
+    def _generator(self, key: Tuple[str, str]) -> Iterator[Path]:
+        """The pair's Yen generator, fast-forwarded past loaded paths.
+
+        After :meth:`load` only the materialized paths exist; the first
+        request that outgrows them recreates the (deterministic) generator
+        and skips the prefix it has already produced.
+        """
+        generator = self._generators.get(key)
+        if generator is None:
+            generator = k_shortest_paths(self._network, *key)
+            for _ in range(len(self._paths[key])):
+                next(generator)
+            self._generators[key] = generator
+        return generator
 
     def count_cached(self, src: str, dst: str) -> int:
         """How many paths are already materialized for a pair."""
@@ -240,3 +313,112 @@ class KspCache:
         if not paths:
             raise NoPathError(f"no path {src} -> {dst}")
         return paths[0]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """JSON-serializable snapshot of the materialized paths.
+
+        Only produced paths (and which pairs are exhausted) are captured;
+        generator state is rebuilt lazily on demand after :meth:`load`.
+        """
+        return {
+            "format": self.DUMP_FORMAT,
+            "signature": network_signature(self._network),
+            "pairs": [
+                {
+                    "src": src,
+                    "dst": dst,
+                    "paths": [list(path) for path in paths],
+                    "exhausted": (src, dst) in self._exhausted,
+                }
+                for (src, dst), paths in sorted(self._paths.items())
+            ],
+        }
+
+    @classmethod
+    def load(cls, payload: dict, network: Network) -> "KspCache":
+        """Rebuild a cache from :meth:`dump` output.
+
+        Raises :class:`KspCacheMismatchError` if the payload was dumped for
+        a different (or since-mutated) network, or uses an unknown format.
+        """
+        if payload.get("format") != cls.DUMP_FORMAT:
+            raise KspCacheMismatchError(
+                f"unsupported KSP cache format {payload.get('format')!r}"
+            )
+        signature = network_signature(network)
+        if payload.get("signature") != signature:
+            raise KspCacheMismatchError(
+                f"KSP cache was dumped for a different network "
+                f"(cache {payload.get('signature')!r}, network {signature!r})"
+            )
+        cache = cls(network)
+        try:
+            for entry in payload["pairs"]:
+                key = (entry["src"], entry["dst"])
+                cache._paths[key] = [tuple(path) for path in entry["paths"]]
+                if entry["exhausted"]:
+                    cache._exhausted.add(key)
+        except (KeyError, TypeError) as exc:
+            # Malformed structure (hand-edited file, external writer, schema
+            # drift without a format bump) must hit the same rejected-cache
+            # path as a wrong signature, not crash the caller.
+            raise KspCacheMismatchError(
+                f"malformed KSP cache payload: {exc!r}"
+            )
+        return cache
+
+    def dump_file(self, path: "os.PathLike[str] | str") -> None:
+        """Atomically write :meth:`dump` output as JSON.
+
+        Write-to-temp plus ``os.replace`` keeps concurrent dumpers (the
+        parallel experiment engine's workers) from ever exposing a torn
+        file to a concurrent loader.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.dump(), handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def try_load_file(
+        cls, path: "os.PathLike[str] | str", network: Network
+    ) -> "Optional[KspCache]":
+        """:meth:`load_file`, but ``None`` for any unusable file.
+
+        Missing, stale, corrupt, or concurrently-deleted files all mean
+        the same thing to a consumer: start from a cold cache.
+        """
+        if not os.path.exists(path):
+            return None
+        try:
+            return cls.load_file(path, network)
+        except (KspCacheMismatchError, OSError):
+            return None
+
+    @classmethod
+    def load_file(
+        cls, path: "os.PathLike[str] | str", network: Network
+    ) -> "KspCache":
+        """Load a cache written by :meth:`dump_file`.
+
+        Raises :class:`KspCacheMismatchError` on a stale or corrupt file.
+        """
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise KspCacheMismatchError(f"corrupt KSP cache file {path}: {exc}")
+        if not isinstance(payload, dict):
+            raise KspCacheMismatchError(f"corrupt KSP cache file {path}")
+        return cls.load(payload, network)

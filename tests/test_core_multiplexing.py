@@ -2,12 +2,26 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.multiplexing import (
+    _pmf,
     check_link_multiplexing,
     exceedance_probability,
     transient_queue_delay_s,
 )
+
+
+def queue_delay_reference(aggregate_samples_bps, capacity_bps, interval_s=0.1):
+    """The pre-vectorization per-interval loop, kept as the test oracle."""
+    total = np.sum(aggregate_samples_bps, axis=0)
+    queue_bits = 0.0
+    worst_bits = 0.0
+    for excess in (total - capacity_bps) * interval_s:
+        queue_bits = max(0.0, queue_bits + excess)
+        worst_bits = max(worst_bits, queue_bits)
+    return worst_bits / capacity_bps
 
 
 class TestTemporalQueue:
@@ -44,6 +58,27 @@ class TestTemporalQueue:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             transient_queue_delay_s([np.zeros(3)], 0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=50.0),
+                min_size=1,
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        capacity=st.floats(min_value=0.5, max_value=40.0),
+        interval_s=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_vectorized_matches_loop(self, samples, capacity, interval_s):
+        length = min(len(trace) for trace in samples)
+        arrays = [np.array(trace[:length]) for trace in samples]
+        expected = queue_delay_reference(arrays, capacity, interval_s)
+        got = transient_queue_delay_s(arrays, capacity, interval_s)
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-12)
 
 
 class TestExceedance:
@@ -130,3 +165,33 @@ class TestCheckLink:
     def test_empty_passes(self):
         check = check_link_multiplexing([], capacity_bps=1.0)
         assert check.passed
+
+    def test_zero_length_samples_rejected(self):
+        # window_s would be 0 and the exceedance threshold would divide
+        # by it; fail loudly instead.
+        with pytest.raises(ValueError):
+            check_link_multiplexing([np.array([])], capacity_bps=1.0)
+
+
+class TestPmf:
+    def test_rounds_to_nearest_bin(self):
+        # 0.6 of a bin width used to truncate down to bin 0, biasing every
+        # rate (and hence the exceedance probability) low.
+        pmf = _pmf(np.array([0.6]), bin_width=1.0, n_bins=4)
+        assert pmf[1] == 1.0
+
+    def test_rounds_down_below_half(self):
+        pmf = _pmf(np.array([0.4]), bin_width=1.0, n_bins=4)
+        assert pmf[0] == 1.0
+
+    def test_overflow_clamped_to_last_bin(self):
+        pmf = _pmf(np.array([99.0]), bin_width=1.0, n_bins=4)
+        assert pmf[3] == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            _pmf(np.array([-1.0]), bin_width=1.0, n_bins=4)
+
+    def test_negative_rate_rejected_via_public_api(self):
+        with pytest.raises(ValueError):
+            exceedance_probability([np.array([-2.0, 1.0])], capacity_bps=10.0)

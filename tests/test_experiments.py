@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.experiments.render import render_cdf, render_scatter_summary, render_series
-from repro.experiments.runner import evaluate_scheme, per_network_quantiles
+from repro.experiments.runner import (
+    SchemeOutcome,
+    evaluate_scheme,
+    per_network_quantiles,
+)
 from repro.experiments.workloads import (
     NetworkWorkload,
     ZooWorkload,
@@ -84,6 +88,48 @@ class TestRunner:
         )
         with pytest.raises(ValueError):
             per_network_quantiles(outcomes, "congested_fraction", 1.5)
+
+    def test_outcomes_carry_unique_network_ids(self, tiny_workload):
+        outcomes = evaluate_scheme(
+            lambda item: ShortestPathRouting(item.cache), tiny_workload
+        )
+        ids = {o.network_id for o in outcomes}
+        assert len(ids) == len(tiny_workload.networks)
+        assert all(o.network_id for o in outcomes)
+
+    def test_duplicate_network_names_not_merged(self):
+        """Two networks sharing a name must stay two points — merging them
+        would mislabel the merged point with the first one's LLPD."""
+
+        def outcome(llpd, congestion, network_id):
+            return SchemeOutcome(
+                network_name="zoo-dup",
+                llpd=llpd,
+                congested_fraction=congestion,
+                latency_stretch=1.0,
+                max_path_stretch=1.0,
+                max_utilization=0.5,
+                fits=True,
+                network_id=network_id,
+            )
+
+        outcomes = [
+            outcome(0.2, 0.0, "0:zoo-dup"),
+            outcome(0.2, 0.2, "0:zoo-dup"),
+            outcome(0.8, 1.0, "1:zoo-dup"),
+            outcome(0.8, 0.8, "1:zoo-dup"),
+        ]
+        points = per_network_quantiles(outcomes, "congested_fraction", 0.5)
+        assert points == [(0.2, 0.1), (0.8, 0.9)]
+
+    def test_duplicate_names_without_ids_fall_back_to_llpd(self):
+        """Hand-built outcomes (no network_id) still split by llpd."""
+        outcomes = [
+            SchemeOutcome("zoo-dup", llpd, 0.0, 1.0, 1.0, 0.5, True)
+            for llpd in (0.3, 0.7)
+        ]
+        points = per_network_quantiles(outcomes, "congested_fraction", 0.5)
+        assert [x for x, _ in points] == [0.3, 0.7]
 
 
 class TestFigures:

@@ -56,6 +56,31 @@ class TestResultStructure:
         controller.route(heavy)
         assert controller._warm_counts[("s", "t")] >= warm[("s", "t")]
 
+    def test_warm_counts_initialized_empty(self, diamond):
+        assert LdrController(diamond)._warm_counts == {}
+
+    def test_no_stale_link_checks_when_demands_stop_fitting(self, diamond):
+        """A round-1 placement can record failing link checks, the tweak
+        scales demands beyond what the network fits, and round 2 breaks
+        out on the not-fits path.  The checks from round 1 describe a
+        different placement and must not survive into the result."""
+        # Mean 40 Gbps (hedged to 44) fits the 50 Gbps s-cut in round 1;
+        # the 80/0 alternation makes every carrying link fail the temporal
+        # test, and the 2x tweak pushes round 2 to 88 Gbps — unroutable.
+        samples = np.tile([Gbps(80), 0.0], 300)
+        traffic = [
+            AggregateTraffic("s", "t", samples, [float(samples.mean())])
+        ]
+        controller = LdrController(
+            diamond, LdrConfig(max_rounds=6, scale_up=2.0)
+        )
+        result = controller.route(traffic)
+        assert not result.converged
+        # The final round's LP did not fit, so no appraise ran on the
+        # returned placement: stale round-1 checks must have been cleared.
+        assert result.rounds >= 2
+        assert result.link_checks == {}
+
 
 class TestScalingBehaviour:
     def test_smooth_traffic_never_scaled(self, triangle):

@@ -5,10 +5,12 @@ import pytest
 from repro.net.graph import Network, Node
 from repro.net.paths import (
     KspCache,
+    KspCacheMismatchError,
     NoPathError,
     all_pairs_shortest_paths,
     is_simple,
     k_shortest_paths,
+    network_signature,
     path_bottleneck_bps,
     path_delay_s,
     path_links,
@@ -159,3 +161,75 @@ class TestKspCache:
         assert cache.count_cached("a", "b") == 0
         cache.get("a", "b", 2)
         assert cache.count_cached("a", "b") == 2
+
+
+class TestNetworkSignature:
+    def test_stable_across_copies(self, gts):
+        assert network_signature(gts) == network_signature(gts.copy())
+
+    def test_capacity_change_changes_signature(self, triangle):
+        assert network_signature(triangle) != network_signature(
+            triangle.with_capacity_factor(2.0)
+        )
+
+    def test_removed_link_changes_signature(self, triangle):
+        assert network_signature(triangle) != network_signature(
+            triangle.without_duplex_link("a", "b")
+        )
+
+
+class TestKspCachePersistence:
+    def test_dump_load_round_trip(self, gts):
+        cache = KspCache(gts)
+        expected = cache.get("n0-0", "n2-3", 4)
+        restored = KspCache.load(cache.dump(), gts)
+        assert restored.count_cached("n0-0", "n2-3") == 4
+        assert restored.get("n0-0", "n2-3", 4) == expected
+
+    def test_loaded_cache_extends_beyond_dumped_paths(self, gts):
+        cache = KspCache(gts)
+        cache.get("n0-0", "n2-3", 2)
+        restored = KspCache.load(cache.dump(), gts)
+        # Asking for more than was persisted resumes Yen deterministically.
+        assert restored.get("n0-0", "n2-3", 6) == KspCache(gts).get(
+            "n0-0", "n2-3", 6
+        )
+
+    def test_exhaustion_survives_round_trip(self, square):
+        cache = KspCache(square)
+        assert len(cache.get("a", "c", 99)) == 2
+        restored = KspCache.load(cache.dump(), square)
+        assert len(restored.get("a", "c", 99)) == 2
+
+    def test_mutated_network_rejected(self, triangle):
+        payload = KspCache(triangle).dump()
+        with pytest.raises(KspCacheMismatchError):
+            KspCache.load(payload, triangle.with_capacity_factor(0.5))
+
+    def test_malformed_payload_rejected(self, triangle):
+        # Valid JSON, right format and signature, broken structure: must
+        # hit the mismatch path, not leak a KeyError to the caller.
+        payload = KspCache(triangle).dump()
+        payload["pairs"] = [{"src": "a"}]
+        with pytest.raises(KspCacheMismatchError):
+            KspCache.load(payload, triangle)
+
+    def test_unknown_format_rejected(self, triangle):
+        payload = KspCache(triangle).dump()
+        payload["format"] = 999
+        with pytest.raises(KspCacheMismatchError):
+            KspCache.load(payload, triangle)
+
+    def test_file_round_trip(self, diamond, tmp_path):
+        cache = KspCache(diamond)
+        cache.get("s", "t", 2)
+        path = tmp_path / "cache.json"
+        cache.dump_file(path)
+        restored = KspCache.load_file(path, diamond)
+        assert restored.get("s", "t", 2) == cache.get("s", "t", 2)
+
+    def test_corrupt_file_rejected(self, triangle, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{definitely not json")
+        with pytest.raises(KspCacheMismatchError):
+            KspCache.load_file(path, triangle)
