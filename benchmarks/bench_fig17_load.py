@@ -8,7 +8,7 @@ optimal scheme converge.
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, RESULTS_DIR, emit
 from repro.experiments.figures import fig17_load_sweep
 from repro.experiments.render import render_series
 
@@ -16,10 +16,17 @@ LOADS = (0.6, 0.7, 0.8, 0.9)
 
 
 def test_fig17_load(benchmark, high_llpd_items):
+    # Engine-backed since the result-store refactor: shards across
+    # REPRO_BENCH_WORKERS and shares the persistent KSP cache directory
+    # with the other benchmarks (same networks, same content hashes).
     results = benchmark.pedantic(
         fig17_load_sweep,
         args=(high_llpd_items,),
-        kwargs={"loads": LOADS},
+        kwargs={
+            "loads": LOADS,
+            "n_workers": N_WORKERS,
+            "cache_dir": str(RESULTS_DIR / "ksp-cache"),
+        },
         rounds=1,
         iterations=1,
     )

@@ -7,7 +7,7 @@ beyond locality ~1.5.
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import N_WORKERS, RESULTS_DIR, emit
 from repro.experiments.figures import fig18_locality_sweep
 from repro.experiments.render import render_series
 
@@ -16,10 +16,17 @@ LOCALITIES = (0.0, 0.5, 1.0, 1.5, 2.0)
 
 def test_fig18_locality(benchmark, high_llpd_items):
     networks = [item.network for item in high_llpd_items]
+    # Engine-backed since the result-store refactor: shards across
+    # REPRO_BENCH_WORKERS and warm-starts from the shared KSP cache dir.
     results = benchmark.pedantic(
         fig18_locality_sweep,
         args=(networks,),
-        kwargs={"localities": LOCALITIES, "n_matrices": 1},
+        kwargs={
+            "localities": LOCALITIES,
+            "n_matrices": 1,
+            "n_workers": N_WORKERS,
+            "cache_dir": str(RESULTS_DIR / "ksp-cache"),
+        },
         rounds=1,
         iterations=1,
     )

@@ -3,7 +3,16 @@
 Usage::
 
     python -m repro.experiments fig03 [--networks 18] [--tms 2] [--workers 4]
+    python -m repro.experiments fig03 --store-dir results/   # persist + resume
+    python -m repro.experiments render fig03 --store-dir results/
     python -m repro.experiments list
+
+With ``--store-dir``, every completed network's results are appended to a
+durable result store keyed by workload content hash, so a killed run
+restarted with the same arguments evaluates only the missing networks
+(``--resume``, the default; ``--no-resume`` discards the stored stream and
+recomputes).  The ``render`` subcommand re-draws a figure *purely* from the
+store — zero scheme evaluations — and fails if any result is missing.
 
 Benchmarks under ``benchmarks/`` do the same with timing and shape
 assertions; this entry point is the quick, dependency-free way to look at
@@ -30,6 +39,18 @@ def build_workload(args, growth_factor: float = 1.3):
     )
 
 
+def engine_options(args) -> dict:
+    """Engine/store keyword arguments shared by the store-backed figures."""
+    return dict(
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
+        resume=args.resume,
+        store_only=args.store_only,
+        cache_max_paths=args.cache_max_paths,
+    )
+
+
 def run_fig01(args) -> str:
     from repro.experiments.figures import fig01_apa_cdfs
     from repro.experiments.render import render_cdf
@@ -45,9 +66,7 @@ def run_fig03(args) -> str:
     from repro.experiments.figures import fig03_sp_congestion
     from repro.experiments.render import render_series
 
-    result = fig03_sp_congestion(
-        build_workload(args), n_workers=args.workers, cache_dir=args.cache_dir
-    )
+    result = fig03_sp_congestion(build_workload(args), **engine_options(args))
     return render_series(
         "Fig 3: congested fraction vs LLPD (SP)", result, x_label="LLPD"
     )
@@ -57,9 +76,7 @@ def run_fig04(args) -> str:
     from repro.experiments.figures import fig04_schemes
     from repro.experiments.render import render_series
 
-    results = fig04_schemes(
-        build_workload(args), n_workers=args.workers, cache_dir=args.cache_dir
-    )
+    results = fig04_schemes(build_workload(args), **engine_options(args))
     series = {}
     for scheme, data in results.items():
         series[f"{scheme}:cong"] = data["congestion_median"]
@@ -88,9 +105,7 @@ def run_fig08(args) -> str:
     from repro.experiments.render import render_series
 
     results = fig08_headroom_sweep(
-        build_workload(args, growth_factor=1.65),
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
+        build_workload(args, growth_factor=1.65), **engine_options(args)
     )
     return render_series(
         "Fig 8: stretch vs LLPD per headroom",
@@ -123,6 +138,60 @@ def run_fig10(args) -> str:
     return render_scatter_summary("Fig 10: sigma(t) vs sigma(t+1)", points)
 
 
+def run_fig17(args) -> str:
+    from repro.experiments.figures import fig17_load_sweep
+    from repro.experiments.render import render_series
+
+    workload = build_workload(args)
+    results = fig17_load_sweep(workload.networks, **engine_options(args))
+    return render_series(
+        "Fig 17: median max path stretch vs load", results, x_label="load"
+    )
+
+
+def run_fig18(args) -> str:
+    from repro.experiments.figures import fig18_locality_sweep
+    from repro.experiments.render import render_series
+    from repro.net.zoo import generate_zoo
+
+    # The sweep generates its own matrices and ignores LLPD, so build the
+    # bare networks (same ensemble as build_workload) rather than paying
+    # for a full workload's matrices and APA analysis.
+    networks = [
+        network
+        for network in generate_zoo(args.networks, seed=args.seed)
+        if network.num_nodes >= 2
+    ]
+    results = fig18_locality_sweep(
+        networks,
+        n_matrices=args.tms,
+        seed=args.seed,
+        **engine_options(args),
+    )
+    return render_series(
+        "Fig 18: median max path stretch vs locality",
+        results,
+        x_label="locality",
+    )
+
+
+def run_fig20(args) -> str:
+    from repro.experiments.figures import fig20_growth_benefit
+    from repro.experiments.render import render_scatter_summary
+
+    workload = build_workload(args)
+    results = fig20_growth_benefit(workload.networks, **engine_options(args))
+    sections = []
+    for scheme, data in results.items():
+        sections.append(
+            render_scatter_summary(
+                f"Fig 20 {scheme}: stretch before (x) vs after (y)",
+                data["median"],
+            )
+        )
+    return "\n\n".join(sections)
+
+
 RUNNERS = {
     "fig01": run_fig01,
     "fig03": run_fig03,
@@ -131,7 +200,13 @@ RUNNERS = {
     "fig08": run_fig08,
     "fig09": run_fig09,
     "fig10": run_fig10,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig20": run_fig20,
 }
+
+#: Figures whose evaluations go through the engine and hence the store.
+STORE_BACKED = {"fig03", "fig04", "fig08", "fig17", "fig18", "fig20"}
 
 
 def main(argv=None) -> int:
@@ -141,7 +216,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig03) or 'list' to enumerate available ones",
+        help="figure id (e.g. fig03), 'render' to re-draw one purely from "
+        "the result store, or 'list' to enumerate available ones",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="figure id to re-draw (only with 'render')",
     )
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
@@ -158,17 +240,82 @@ def main(argv=None) -> int:
         help="persist per-network KSP caches here; repeated and parallel "
         "runs warm-start from disk",
     )
+    parser.add_argument(
+        "--cache-max-paths",
+        type=int,
+        default=None,
+        help="keep at most this many KSP paths per node pair in each "
+        "persisted cache file",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="after the run, evict least-recently-used ksp-*.json files "
+        "from --cache-dir until it fits this budget",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="persist per-network results here (append-only JSONL keyed by "
+        "workload content hash); interrupted runs resume and 'render' "
+        "re-draws without re-evaluating",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve already-stored networks from --store-dir instead of "
+        "re-evaluating them (--no-resume discards the stored stream)",
+    )
     args = parser.parse_args(argv)
+    args.store_only = False
 
-    if args.figure == "list":
+    figure = args.figure
+    if figure == "list":
         print("available:", ", ".join(sorted(RUNNERS)))
-        print("(figures 15-20 run via pytest benchmarks/ --benchmark-only)")
+        print("store-backed (resumable, renderable):",
+              ", ".join(sorted(STORE_BACKED)))
+        print("(figures 15/16/19 run via pytest benchmarks/ --benchmark-only)")
         return 0
-    runner = RUNNERS.get(args.figure)
-    if runner is None:
-        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+    if figure == "render":
+        if args.target is None:
+            print("render needs a figure id, e.g. 'render fig03'",
+                  file=sys.stderr)
+            return 2
+        if args.store_dir is None:
+            print("render needs --store-dir", file=sys.stderr)
+            return 2
+        figure = args.target
+        args.store_only = True
+        if figure not in STORE_BACKED:
+            print(f"figure {figure!r} is not store-backed; choose one of "
+                  f"{', '.join(sorted(STORE_BACKED))}", file=sys.stderr)
+            return 2
+    elif args.target is not None:
+        print(f"unexpected extra argument {args.target!r}", file=sys.stderr)
         return 2
-    print(runner(args))
+
+    runner = RUNNERS.get(figure)
+    if runner is None:
+        print(f"unknown figure {figure!r}; try 'list'", file=sys.stderr)
+        return 2
+
+    from repro.experiments.store import StoreError
+
+    try:
+        print(runner(args))
+    except StoreError as exc:
+        print(f"result store: {exc}", file=sys.stderr)
+        return 1
+
+    if args.cache_dir is not None and args.cache_max_bytes is not None:
+        from repro.net.paths import sweep_ksp_cache_dir
+
+        removed = sweep_ksp_cache_dir(args.cache_dir, args.cache_max_bytes)
+        if removed:
+            print(f"evicted {len(removed)} KSP cache file(s) from "
+                  f"{args.cache_dir}")
     return 0
 
 

@@ -34,6 +34,15 @@ Sharding/determinism contract
   content hash of the network, so stale caches are rejected rather than
   trusted, and writes are atomic (write-to-temp + rename) so concurrent
   shards never observe torn files.
+* With a ``store_dir``, completed per-network results are additionally
+  appended to a :class:`~repro.experiments.store.ResultStore` stream keyed
+  by (workload signature, scheme name), and networks whose results are
+  already stored are **skipped** — an interrupted run restarted against
+  the same store evaluates only the missing networks, and a fully-stored
+  run constructs no scheme at all.  Because each stored result is the pure
+  per-network function's output round-tripped through JSON (floats are
+  exact), the bit-identical-for-any-worker-count contract extends to
+  stored results.
 """
 
 from __future__ import annotations
@@ -116,18 +125,34 @@ class ExperimentEngine:
     ``n_workers=1`` runs in-process (deterministic serial fallback);
     ``n_workers>1`` shards networks across a ``fork``-based process pool.
     ``cache_dir`` enables persistent KSP caches keyed by network content
-    hash.  See the module docstring for the full contract.
+    hash; ``cache_max_paths`` bounds how many paths per pair those cache
+    files keep.  ``store_dir`` enables the durable result store: stored
+    networks are served without evaluation (unless ``resume`` is false,
+    which discards the existing stream first), and ``store_only`` forbids
+    evaluation altogether — missing results raise
+    :class:`~repro.experiments.store.StoreMissError` instead of being
+    computed.  See the module docstring for the full contract.
     """
 
     def __init__(
         self,
         n_workers: int = 1,
         cache_dir: Optional[os.PathLike] = None,
+        store_dir: Optional[os.PathLike] = None,
+        resume: bool = True,
+        store_only: bool = False,
+        cache_max_paths: Optional[int] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
+        if store_only and store_dir is None:
+            raise ValueError("store_only runs need a store_dir")
         self.n_workers = n_workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.resume = resume
+        self.store_only = store_only
+        self.cache_max_paths = cache_max_paths
 
     # ------------------------------------------------------------------
     def run(
@@ -135,10 +160,11 @@ class ExperimentEngine:
         scheme_factory: SchemeFactory,
         workload: ZooWorkload,
         matrices_per_network: Optional[int] = None,
+        scheme: Optional[str] = None,
     ) -> EngineReport:
         """Evaluate every network; results come back in workload order."""
         results = sorted(
-            self.stream(scheme_factory, workload, matrices_per_network),
+            self.stream(scheme_factory, workload, matrices_per_network, scheme),
             key=lambda result: result.index,
         )
         return EngineReport(results=results)
@@ -148,29 +174,109 @@ class ExperimentEngine:
         scheme_factory: SchemeFactory,
         workload: ZooWorkload,
         matrices_per_network: Optional[int] = None,
+        scheme: Optional[str] = None,
     ) -> Iterator[NetworkResult]:
         """Yield one :class:`NetworkResult` per network as it completes.
 
         Serial runs yield in workload order; parallel runs yield in
         completion order (callers needing workload order use :meth:`run`).
+        Store-backed runs yield stored results first (in workload order),
+        then freshly evaluated ones; ``scheme`` names the store stream and
+        is required when a ``store_dir`` is configured.
         """
         if not workload.networks:
             return iter(())
-        workers = min(self.n_workers, len(workload.networks))
-        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
-            return self._stream_parallel(
-                scheme_factory, workload, matrices_per_network, workers
+        if self.store_dir is not None:
+            return self._stream_stored(
+                scheme_factory, workload, matrices_per_network, scheme
             )
-        return self._stream_serial(scheme_factory, workload, matrices_per_network)
+        return self._stream_fresh(
+            scheme_factory,
+            workload,
+            matrices_per_network,
+            list(range(len(workload.networks))),
+        )
 
     # ------------------------------------------------------------------
+    def _stream_stored(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int],
+        scheme: Optional[str],
+    ) -> Iterator[NetworkResult]:
+        """Serve stored results, evaluate (and append) only the rest."""
+        from repro.experiments.store import (
+            ResultStore,
+            StoreMissError,
+            workload_signature,
+        )
+
+        if not scheme:
+            raise ValueError("store-backed runs need a scheme name")
+        store = ResultStore(self.store_dir)
+        signature = workload_signature(workload, matrices_per_network)
+        total = len(workload.networks)
+
+        if self.store_only:
+            stored = store.load_results(signature, scheme)
+            missing = [i for i in range(total) if i not in stored]
+            if missing:
+                raise StoreMissError(
+                    f"store {store.stream_path(signature, scheme)} holds "
+                    f"{total - len(missing)}/{total} networks; missing "
+                    f"indices {missing[:8]}{'...' if len(missing) > 8 else ''}"
+                )
+            for index in range(total):
+                yield stored[index]
+            return
+
+        writer = store.open_writer(
+            signature, scheme, n_networks=total, resume=self.resume
+        )
+        try:
+            stored = {
+                index: result
+                for index, result in writer.stored.items()
+                if 0 <= index < total
+            }
+            for index in sorted(stored):
+                yield stored[index]
+            missing = [i for i in range(total) if i not in stored]
+            for result in self._stream_fresh(
+                scheme_factory, workload, matrices_per_network, missing
+            ):
+                writer.append(result)
+                yield result
+        finally:
+            writer.close()
+
+    def _stream_fresh(
+        self,
+        scheme_factory: SchemeFactory,
+        workload: ZooWorkload,
+        matrices_per_network: Optional[int],
+        indices: List[int],
+    ) -> Iterator[NetworkResult]:
+        if not indices:
+            return iter(())
+        workers = min(self.n_workers, len(indices))
+        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            return self._stream_parallel(
+                scheme_factory, workload, matrices_per_network, indices, workers
+            )
+        return self._stream_serial(
+            scheme_factory, workload, matrices_per_network, indices
+        )
+
     def _stream_serial(
         self,
         scheme_factory: SchemeFactory,
         workload: ZooWorkload,
         matrices_per_network: Optional[int],
+        indices: List[int],
     ) -> Iterator[NetworkResult]:
-        for index in range(len(workload.networks)):
+        for index in indices:
             yield self._evaluate_network(
                 scheme_factory, workload, matrices_per_network, index
             )
@@ -180,6 +286,7 @@ class ExperimentEngine:
         scheme_factory: SchemeFactory,
         workload: ZooWorkload,
         matrices_per_network: Optional[int],
+        indices: List[int],
         workers: int,
     ) -> Iterator[NetworkResult]:
         # Workers are forked, so the factory/workload (closures, caches,
@@ -196,8 +303,7 @@ class ExperimentEngine:
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             pending = {
-                pool.submit(_forked_evaluate, token, index)
-                for index in range(len(workload.networks))
+                pool.submit(_forked_evaluate, token, index) for index in indices
             }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -253,13 +359,23 @@ class ExperimentEngine:
                 )
             )
         seconds = time.perf_counter() - start
-        if cache_path is not None and (
-            not os.path.exists(cache_path)
-            or self._count_paths(item) != preloaded
-        ):
-            # Skip the rewrite when evaluation added nothing: a fully-warm
-            # repeat run would otherwise re-serialize every file untouched.
-            item.cache.dump_file(cache_path)
+        if cache_path is not None:
+            if (
+                not os.path.exists(cache_path)
+                or self._count_paths(item) != preloaded
+            ):
+                item.cache.dump_file(
+                    cache_path, max_paths_per_pair=self.cache_max_paths
+                )
+            else:
+                # Skip the rewrite when evaluation added nothing: a fully-
+                # warm repeat run would otherwise re-serialize every file
+                # untouched.  Touch it instead, so the LRU sweep
+                # (sweep_ksp_cache_dir) sees use, not just writes.
+                try:
+                    os.utime(cache_path)
+                except OSError:
+                    pass
         return NetworkResult(
             index=index,
             network_name=item.network.name,

@@ -47,6 +47,23 @@ from repro.routing import (
 from repro.tm import TrafficMatrix, scale_to_growth_headroom
 
 
+def _adhoc_workload(
+    items: Sequence[NetworkWorkload],
+    locality: float = 0.0,
+    growth_factor: float = 0.0,
+) -> ZooWorkload:
+    """Wrap bare workload items for the engine.
+
+    The shaping parameters of hand-assembled item lists are unknown; the
+    placeholders only feed the result-store signature, which also hashes
+    the matrices themselves, so no two distinct workloads can collide on
+    them.
+    """
+    return ZooWorkload(
+        networks=list(items), locality=locality, growth_factor=growth_factor
+    )
+
+
 def scheme_factories(
     headroom: float = 0.0,
 ) -> Dict[str, Callable[[NetworkWorkload], object]]:
@@ -86,12 +103,22 @@ def fig03_sp_congestion(
     workload: ZooWorkload,
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """Median and 90th-percentile congested-pair fraction vs LLPD (SP)."""
+    """Median and 90th-percentile congested-pair fraction vs LLPD (SP).
+
+    With a ``store_dir`` results persist to (and re-render from) the
+    durable result store; ``engine_opts`` (``resume``, ``store_only``,
+    ``cache_max_paths``) pass through to :func:`evaluate_scheme`.
+    """
     outcomes = evaluate_scheme(
         lambda item: ShortestPathRouting(item.cache), workload,
         n_workers=n_workers,
         cache_dir=cache_dir,
+        store_dir=store_dir,
+        scheme="SP",
+        **engine_opts,
     )
     return {
         "median": per_network_quantiles(outcomes, "congested_fraction", 0.5),
@@ -103,10 +130,16 @@ def fig19_google(
     workload_with_google: ZooWorkload,
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Same as Figure 3 but the workload includes a Google-like network."""
     return fig03_sp_congestion(
-        workload_with_google, n_workers=n_workers, cache_dir=cache_dir
+        workload_with_google,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
     )
 
 
@@ -118,6 +151,8 @@ def fig04_schemes(
     schemes: Optional[Dict[str, Callable[[NetworkWorkload], object]]] = None,
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
     """Congestion and latency stretch vs LLPD for each active scheme.
 
@@ -125,13 +160,23 @@ def fig04_schemes(
     own memory image, so without persistence each scheme's pool redoes the
     k-shortest paths from cold; the on-disk caches carry the warmth from
     one scheme's pool to the next.
+
+    With a ``store_dir``, each scheme's results live in a store stream
+    named by its key in ``schemes`` — callers passing custom factories
+    must give behaviorally different schemes different keys.
     """
     if schemes is None:
         schemes = scheme_factories(headroom=0.0)
     results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
     for name, factory in schemes.items():
         outcomes = evaluate_scheme(
-            factory, workload, n_workers=n_workers, cache_dir=cache_dir
+            factory,
+            workload,
+            n_workers=n_workers,
+            cache_dir=cache_dir,
+            store_dir=store_dir,
+            scheme=name,
+            **engine_opts,
         )
         results[name] = {
             "congestion_median": per_network_quantiles(
@@ -176,6 +221,8 @@ def fig08_headroom_sweep(
     headrooms: Sequence[float] = (0.0, 0.11, 0.23, 0.40),
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[float, List[Tuple[float, float]]]:
     """Median latency stretch vs LLPD for each headroom setting.
 
@@ -192,6 +239,9 @@ def fig08_headroom_sweep(
             workload,
             n_workers=n_workers,
             cache_dir=cache_dir,
+            store_dir=store_dir,
+            scheme=f"LDR@h={headroom!r}",
+            **engine_opts,
         )
         results[headroom] = per_network_quantiles(outcomes, "latency_stretch", 0.5)
     return results
@@ -296,6 +346,8 @@ def fig16_max_stretch_cdfs(
     headrooms: Sequence[float] = (0.0, 0.10),
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Max-path-stretch CDism data per (LLPD class, headroom, scheme).
 
@@ -308,11 +360,13 @@ def fig16_max_stretch_cdfs(
         networks=[w for w in workload.networks if w.llpd < llpd_split],
         locality=workload.locality,
         growth_factor=workload.growth_factor,
+        seed=workload.seed,
     )
     high = ZooWorkload(
         networks=[w for w in workload.networks if w.llpd >= llpd_split],
         locality=workload.locality,
         growth_factor=workload.growth_factor,
+        seed=workload.seed,
     )
     cases = {
         "low_h0": (low, headrooms[0]),
@@ -323,8 +377,17 @@ def fig16_max_stretch_cdfs(
     for key, (subset, headroom) in cases.items():
         results[key] = {}
         for name, factory in scheme_factories(headroom=headroom).items():
+            # The headroom goes into the stream key: high_h0 and high_h10
+            # share a workload signature (same subset, same matrices), so
+            # the scheme name alone would collide in the store.
             outcomes = evaluate_scheme(
-                factory, subset, n_workers=n_workers, cache_dir=cache_dir
+                factory,
+                subset,
+                n_workers=n_workers,
+                cache_dir=cache_dir,
+                store_dir=store_dir,
+                scheme=f"{name}@h={headroom!r}",
+                **engine_opts,
             )
             routable = [o.max_path_stretch for o in outcomes if o.fits]
             unroutable = sum(1 for o in outcomes if not o.fits)
@@ -343,26 +406,48 @@ def fig16_max_stretch_cdfs(
 def fig17_load_sweep(
     items: Sequence[NetworkWorkload],
     loads: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Median max flow stretch vs min-cut load, high-LLPD networks.
 
-    Base matrices are rescaled per target load (growth = 1/load).
+    Base matrices are rescaled per target load (growth = 1/load).  Each
+    (load, scheme) evaluation runs through :func:`evaluate_scheme`, so the
+    sweep shards across ``n_workers``, warm-starts from ``cache_dir`` and
+    persists to ``store_dir`` like figures 3/4/8/16.
     """
     results: Dict[str, List[Tuple[float, float]]] = {
         name: [] for name in scheme_factories()
     }
     for load in loads:
-        per_scheme: Dict[str, List[float]] = {name: [] for name in results}
-        for item in items:
-            for tm in item.matrices:
-                rescaled = scale_to_growth_headroom(
-                    item.network, tm, 1.0 / load
-                )
-                for name, factory in scheme_factories().items():
-                    placement = factory(item).place(item.network, rescaled)
-                    per_scheme[name].append(placement.max_path_stretch())
-        for name, values in per_scheme.items():
-            results[name].append((load, float(np.median(values))))
+        rescaled_items = [
+            NetworkWorkload(
+                network=item.network,
+                llpd=item.llpd,
+                matrices=[
+                    scale_to_growth_headroom(item.network, tm, 1.0 / load)
+                    for tm in item.matrices
+                ],
+                cache=item.cache,
+            )
+            for item in items
+        ]
+        workload = _adhoc_workload(rescaled_items, growth_factor=1.0 / load)
+        for name, factory in scheme_factories().items():
+            outcomes = evaluate_scheme(
+                factory,
+                workload,
+                n_workers=n_workers,
+                cache_dir=cache_dir,
+                store_dir=store_dir,
+                scheme=f"{name}@load={load!r}",
+                **engine_opts,
+            )
+            results[name].append(
+                (load, float(np.median([o.max_path_stretch for o in outcomes])))
+            )
     return results
 
 
@@ -375,6 +460,10 @@ def fig18_locality_sweep(
     n_matrices: int = 2,
     growth_factor: float = 1.3,
     seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Median max flow stretch vs traffic locality.
 
@@ -393,28 +482,50 @@ def fig18_locality_sweep(
         name: [] for name in scheme_factories()
     }
     rng = np.random.default_rng(seed)
-    caches = {network.name: KspCache(network) for network in networks}
-    bases: List[Tuple[Network, TrafficMatrix]] = []
+    caches = [KspCache(network) for network in networks]
+    bases: List[List[TrafficMatrix]] = []
     for network in networks:
+        per_network: List[TrafficMatrix] = []
         for _ in range(n_matrices):
             base = gravity_traffic_matrix(network, rng)
             base = scale_to_growth_headroom(network, base, growth_factor)
-            bases.append((network, base))
+            per_network.append(base)
+        bases.append(per_network)
     for locality in localities:
-        per_scheme: Dict[str, List[float]] = {name: [] for name in results}
-        for network, base in bases:
-            tm = apply_locality(network, base, locality)
-            item = NetworkWorkload(
+        items = [
+            NetworkWorkload(
                 network=network,
                 llpd=0.0,  # not needed for this sweep
-                matrices=[tm],
-                cache=caches[network.name],
+                matrices=[
+                    apply_locality(network, base, locality)
+                    for base in bases[position]
+                ],
+                cache=caches[position],
             )
-            for name, factory in scheme_factories().items():
-                placement = factory(item).place(network, tm)
-                per_scheme[name].append(placement.max_path_stretch())
-        for name, values in per_scheme.items():
-            results[name].append((locality, float(np.median(values))))
+            for position, network in enumerate(networks)
+        ]
+        workload = ZooWorkload(
+            networks=items,
+            locality=locality,
+            growth_factor=growth_factor,
+            seed=seed,
+        )
+        for name, factory in scheme_factories().items():
+            outcomes = evaluate_scheme(
+                factory,
+                workload,
+                n_workers=n_workers,
+                cache_dir=cache_dir,
+                store_dir=store_dir,
+                scheme=f"{name}@loc={locality!r}",
+                **engine_opts,
+            )
+            results[name].append(
+                (
+                    locality,
+                    float(np.median([o.max_path_stretch for o in outcomes])),
+                )
+            )
     return results
 
 
@@ -426,17 +537,25 @@ def fig20_growth_benefit(
     growth_fraction: float = 0.05,
     max_candidates: int = 20,
     apa_params: ApaParameters = ApaParameters(),
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
 ) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
     """Latency stretch before/after LLPD-guided link additions.
 
     Returns per scheme the (before, after) latency-stretch pairs: medians
     and 90th percentiles across each network's traffic matrices.
+
+    The before- and after-growth ensembles each run through
+    :func:`evaluate_scheme` (parallelizable, cacheable, storable).  Note a
+    store-only re-render still recomputes the LLPD-guided growth itself —
+    the grown topologies feed the store key — but performs zero scheme
+    evaluations.
     """
     from repro.net.mutate import grow_by_llpd
 
-    results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {
-        name: {"median": [], "p90": []} for name in scheme_factories()
-    }
+    grown_items: List[NetworkWorkload] = []
     for item in items:
         grown_network, _ = grow_by_llpd(
             item.network,
@@ -444,23 +563,46 @@ def fig20_growth_benefit(
             growth_fraction=growth_fraction,
             max_candidates=max_candidates,
         )
-        grown_item = NetworkWorkload(
-            network=grown_network, llpd=item.llpd, matrices=item.matrices
+        grown_items.append(
+            NetworkWorkload(
+                network=grown_network, llpd=item.llpd, matrices=item.matrices
+            )
         )
-        for name, factory in scheme_factories().items():
-            before: List[float] = []
-            after: List[float] = []
-            for tm in item.matrices:
-                before.append(
-                    factory(item)
-                    .place(item.network, tm)
-                    .total_latency_stretch()
-                )
-                after.append(
-                    factory(grown_item)
-                    .place(grown_network, tm)
-                    .total_latency_stretch()
-                )
+    base_workload = _adhoc_workload(items)
+    grown_workload = _adhoc_workload(grown_items)
+
+    results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {
+        name: {"median": [], "p90": []} for name in scheme_factories()
+    }
+    for name, factory in scheme_factories().items():
+        evaluations = {}
+        for phase, workload in (
+            ("base", base_workload),
+            ("grown", grown_workload),
+        ):
+            evaluations[phase] = evaluate_scheme(
+                factory,
+                workload,
+                n_workers=n_workers,
+                cache_dir=cache_dir,
+                store_dir=store_dir,
+                scheme=f"{name}@{phase}",
+                **engine_opts,
+            )
+        # Outcomes come back flattened in workload order (network, then
+        # matrix); chunk them back per item to take per-network quantiles.
+        offset = 0
+        for item in items:
+            count = len(item.matrices)
+            before = [
+                o.latency_stretch
+                for o in evaluations["base"][offset:offset + count]
+            ]
+            after = [
+                o.latency_stretch
+                for o in evaluations["grown"][offset:offset + count]
+            ]
+            offset += count
             results[name]["median"].append(
                 (float(np.median(before)), float(np.median(after)))
             )

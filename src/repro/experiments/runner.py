@@ -34,6 +34,11 @@ def evaluate_scheme(
     matrices_per_network: Optional[int] = None,
     n_workers: int = 1,
     cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    scheme: Optional[str] = None,
+    resume: bool = True,
+    store_only: bool = False,
+    cache_max_paths: Optional[int] = None,
 ) -> List[SchemeOutcome]:
     """Run a scheme across the whole workload.
 
@@ -42,13 +47,31 @@ def evaluate_scheme(
 
     Evaluation is delegated to :class:`repro.experiments.engine.
     ExperimentEngine`: ``n_workers>1`` shards networks across a process
-    pool, and ``cache_dir`` persists each network's KSP cache across runs.
-    Results are identical for any worker count.
+    pool, and ``cache_dir`` persists each network's KSP cache across runs
+    (``cache_max_paths`` bounds those files).  Results are identical for
+    any worker count.
+
+    With a ``store_dir``, per-network results are persisted to (and served
+    from) the durable result store under the stream named by ``scheme``
+    (required in that case): stored networks are not re-evaluated when
+    ``resume`` is true, and ``store_only=True`` serves entirely from the
+    store, raising :class:`~repro.experiments.store.StoreMissError` rather
+    than evaluating anything.  Stored outcomes compare equal to freshly
+    computed ones.
     """
     from repro.experiments.engine import ExperimentEngine
 
-    engine = ExperimentEngine(n_workers=n_workers, cache_dir=cache_dir)
-    return engine.run(scheme_factory, workload, matrices_per_network).outcomes
+    engine = ExperimentEngine(
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        resume=resume,
+        store_only=store_only,
+        cache_max_paths=cache_max_paths,
+    )
+    return engine.run(
+        scheme_factory, workload, matrices_per_network, scheme
+    ).outcomes
 
 
 def per_network_quantiles(

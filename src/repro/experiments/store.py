@@ -1,0 +1,350 @@
+"""Durable, append-only result store for experiment engine runs.
+
+The paper's evaluation grid (116 networks x 100 traffic matrices x several
+schemes) is the shape of workload where interrupted runs and repeated
+re-plots dominate wall-clock cost.  This module persists the engine's
+per-network results so that
+
+* a run killed partway can be restarted and evaluates only the networks
+  whose results are not yet on disk (crash resume), and
+* a figure can be re-rendered entirely from disk, without constructing a
+  single routing scheme (re-render without re-evaluate).
+
+Store layout
+------------
+
+One JSONL stream per (workload signature, scheme name)::
+
+    <store>/<workload-signature>/<scheme>.jsonl
+
+The workload signature is a content hash (:func:`workload_signature`)
+covering every network (via :func:`repro.net.io.to_json`), every traffic
+matrix (via :func:`repro.tm.matrix.to_json`), the workload's shaping
+parameters (locality, growth factor, seed) and the effective
+``matrices_per_network`` truncation.  Any change to the workload changes
+the signature, so stale results are rejected *by key* — they are simply
+never looked up — rather than trusted.
+
+Each stream starts with a header record restating its key (format version,
+signature, scheme name); readers verify the header against the requested
+key and raise :class:`StoreMismatchError` on any disagreement (a file moved
+between directories, a renamed scheme, a future format).  After the header
+come one ``result`` record per completed network, appended as a single
+flushed line each, so concurrent appenders never interleave *within* a
+record and a crash can tear at most the trailing line.  Readers stop at
+the first unparseable line; the writer truncates such a torn tail before
+resuming, so a mid-write kill costs exactly one network's result.
+
+Stored results round-trip bit-identically: JSON preserves Python floats
+exactly (``repr`` round-trip), so a :class:`SchemeOutcome` read back from
+the store compares equal to the freshly computed one, for any worker
+count — the engine's determinism contract extends to the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.experiments.runner import SchemeOutcome
+from repro.experiments.workloads import ZooWorkload
+from repro.net.io import to_json as network_to_json
+from repro.tm.matrix import to_json as tm_to_json
+
+if TYPE_CHECKING:  # circular at runtime: engine imports this module
+    from repro.experiments.engine import NetworkResult
+
+#: Version tag of both the signature recipe and the stream record layout.
+#: Bumping it orphans (never corrupts) existing stores: old streams live
+#: under old signature directories and are no longer looked up.
+STORE_FORMAT = 1
+
+
+class StoreError(Exception):
+    """Base class for result-store failures."""
+
+
+class StoreMismatchError(StoreError):
+    """A stream's header does not match the key it was looked up under."""
+
+
+class StoreMissError(StoreError):
+    """A store-only run needs results the store does not hold."""
+
+
+def workload_signature(
+    workload: ZooWorkload, matrices_per_network: Optional[int] = None
+) -> str:
+    """Content hash identifying one evaluation workload.
+
+    Covers every network's full JSON form, every traffic matrix actually
+    evaluated (respecting ``matrices_per_network``), per-network LLPD, and
+    the workload's shaping parameters.  Two workloads hash equal iff the
+    engine would produce identical outcomes for them, so the hash is safe
+    to use as the storage key for results.
+
+    The hash is memoized on the workload instance: figure functions call
+    the engine once per (scheme, sweep point) over the same workload, and
+    re-serializing every network and matrix each time is pure waste.
+    Workloads must not be mutated mid-evaluation anyway (the engine and
+    KSP-cache contracts already assume it), so the memo cannot go stale.
+    """
+    memo = getattr(workload, "_signature_memo", None)
+    if memo is None:
+        memo = {}
+        workload._signature_memo = memo
+    cached = memo.get(matrices_per_network)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(f"repro-store|{STORE_FORMAT}".encode())
+    digest.update(
+        f"|W|{workload.locality!r}|{workload.growth_factor!r}"
+        f"|{workload.seed!r}|{matrices_per_network!r}".encode()
+    )
+    for item in workload.networks:
+        digest.update(b"|N|")
+        digest.update(network_to_json(item.network).encode())
+        digest.update(f"|{item.llpd!r}".encode())
+        matrices = item.matrices
+        if matrices_per_network is not None:
+            matrices = matrices[:matrices_per_network]
+        for tm in matrices:
+            digest.update(b"|T|")
+            digest.update(tm_to_json(tm).encode())
+    memo[matrices_per_network] = digest.hexdigest()
+    return memo[matrices_per_network]
+
+
+def scheme_file_name(scheme: str) -> str:
+    """Filesystem-safe stream file name for a scheme key.
+
+    Scheme keys like ``LDR@h=0.11`` keep their punctuation; anything the
+    filesystem might object to becomes ``_``, plus a short hash of the
+    original key so that two keys which sanitize identically (``a/b`` vs
+    ``a_b``) still get distinct streams — without the hash they would
+    silently clobber each other's results on every alternating run.
+    """
+    if not scheme:
+        raise ValueError("scheme key must be non-empty")
+    sanitized = re.sub(r"[^A-Za-z0-9._@=+-]", "_", scheme)
+    if sanitized != scheme:
+        tag = hashlib.sha256(scheme.encode()).hexdigest()[:8]
+        sanitized = f"{sanitized}-{tag}"
+    return sanitized + ".jsonl"
+
+
+# ----------------------------------------------------------------------
+# Record conversion
+# ----------------------------------------------------------------------
+def _result_to_record(result: "NetworkResult") -> dict:
+    return {
+        "kind": "result",
+        "index": result.index,
+        "network_id": result.network_id,
+        "network_name": result.network_name,
+        "seconds": result.seconds,
+        "paths_preloaded": result.paths_preloaded,
+        "outcomes": [asdict(outcome) for outcome in result.outcomes],
+    }
+
+
+def _result_from_record(record: dict) -> "NetworkResult":
+    from repro.experiments.engine import NetworkResult
+
+    index = record["index"]
+    if not isinstance(index, int):
+        raise ValueError(f"non-integer result index {index!r}")
+    return NetworkResult(
+        index=index,
+        network_name=record["network_name"],
+        network_id=record["network_id"],
+        outcomes=[SchemeOutcome(**o) for o in record["outcomes"]],
+        seconds=record["seconds"],
+        paths_preloaded=record.get("paths_preloaded", 0),
+    )
+
+
+def _header_record(signature: str, scheme: str, n_networks: int) -> dict:
+    return {
+        "kind": "header",
+        "format": STORE_FORMAT,
+        "signature": signature,
+        "scheme": scheme,
+        "n_networks": n_networks,
+    }
+
+
+def _header_matches(header: dict, signature: str, scheme: str) -> bool:
+    return (
+        header.get("format") == STORE_FORMAT
+        and header.get("signature") == signature
+        and header.get("scheme") == scheme
+    )
+
+
+def _scan_stream(path: str) -> Tuple[Optional[dict], Dict[int, "NetworkResult"], int]:
+    """Parse a stream file: (header, results by index, valid byte length).
+
+    Walks complete (newline-terminated) lines from the start and stops at
+    the first line that is not valid JSON or not a well-formed record —
+    with an append-only writer that can only be a torn trailing write.
+    ``valid`` is the byte offset just past the last good line, which is
+    where a resuming writer truncates before appending.
+
+    Returns ``header=None`` when the first line is not a header record
+    (empty, corrupt, or foreign file).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header: Optional[dict] = None
+    results: Dict[int, "NetworkResult"] = {}
+    pos = 0
+    valid = 0
+    while True:
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            break  # unterminated tail: torn mid-write, ignore
+        line = data[pos:newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        if pos == 0:
+            if record.get("kind") != "header":
+                break
+            header = record
+        elif record.get("kind") == "result":
+            try:
+                parsed = _result_from_record(record)
+            except (KeyError, TypeError, ValueError):
+                break
+            results[parsed.index] = parsed
+        # Records of unknown kind are skipped, not fatal: a newer writer
+        # may add annotations an older reader can safely ignore.
+        pos = newline + 1
+        valid = pos
+    if header is None:
+        return None, {}, 0
+    return header, results, valid
+
+
+class StoreWriter:
+    """Appender for one (signature, scheme) stream.
+
+    Opening with ``resume=True`` adopts an existing valid stream: its
+    results are exposed as :attr:`stored` and any torn trailing line is
+    truncated away before appending continues.  A missing, mismatched or
+    headerless file — and any open with ``resume=False`` — starts the
+    stream fresh (atomically, so a concurrent reader never sees a
+    header-less file).
+    """
+
+    def __init__(
+        self,
+        path: "os.PathLike[str] | str",
+        signature: str,
+        scheme: str,
+        n_networks: int,
+        resume: bool = True,
+    ) -> None:
+        self._path = os.fspath(path)
+        self.stored: Dict[int, "NetworkResult"] = {}
+        os.makedirs(os.path.dirname(self._path) or ".", exist_ok=True)
+        adopted = False
+        if resume and os.path.exists(self._path):
+            try:
+                header, results, valid = _scan_stream(self._path)
+            except OSError:
+                header, results, valid = None, {}, 0
+            if header is not None and _header_matches(header, signature, scheme):
+                self.stored = results
+                if valid < os.path.getsize(self._path):
+                    with open(self._path, "r+b") as handle:
+                        handle.truncate(valid)
+                adopted = True
+        if not adopted:
+            tmp = self._path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(
+                    _dump_line(_header_record(signature, scheme, n_networks))
+                )
+            os.replace(tmp, self._path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    def append(self, result: "NetworkResult") -> None:
+        """Append one completed network's result as a single flushed line."""
+        self._handle.write(_dump_line(_result_to_record(result)))
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _dump_line(record: dict) -> str:
+    return json.dumps(record, separators=(",", ":")) + "\n"
+
+
+class ResultStore:
+    """A directory of result streams, keyed by (signature, scheme)."""
+
+    def __init__(self, root: "os.PathLike[str] | str") -> None:
+        self.root = Path(root)
+
+    def stream_path(self, signature: str, scheme: str) -> Path:
+        return self.root / signature / scheme_file_name(scheme)
+
+    def open_writer(
+        self,
+        signature: str,
+        scheme: str,
+        n_networks: int,
+        resume: bool = True,
+    ) -> StoreWriter:
+        return StoreWriter(
+            self.stream_path(signature, scheme),
+            signature,
+            scheme,
+            n_networks,
+            resume=resume,
+        )
+
+    def load_results(
+        self, signature: str, scheme: str
+    ) -> Dict[int, "NetworkResult"]:
+        """Stored results for a key, strictly validated.
+
+        Returns ``{}`` when the stream does not exist.  Raises
+        :class:`StoreMismatchError` when a file is present but its header
+        is missing or names a different key than it was looked up under —
+        such results must never be served.
+        """
+        path = self.stream_path(signature, scheme)
+        if not path.exists():
+            return {}
+        header, results, _ = _scan_stream(os.fspath(path))
+        if header is None:
+            raise StoreMismatchError(f"{path}: no valid header record")
+        if not _header_matches(header, signature, scheme):
+            raise StoreMismatchError(
+                f"{path}: header names "
+                f"(format={header.get('format')!r}, "
+                f"signature={header.get('signature')!r}, "
+                f"scheme={header.get('scheme')!r}), "
+                f"expected (format={STORE_FORMAT!r}, "
+                f"signature={signature!r}, scheme={scheme!r})"
+            )
+        return results

@@ -51,6 +51,10 @@ class ZooWorkload:
     networks: List[NetworkWorkload]
     locality: float
     growth_factor: float
+    #: RNG seed the ensemble was built from; ``None`` for hand-assembled
+    #: workloads.  Recorded so the result store's workload signature covers
+    #: it (see :func:`repro.experiments.store.workload_signature`).
+    seed: Optional[int] = None
 
     def sorted_by_llpd(self) -> List[NetworkWorkload]:
         return sorted(self.networks, key=lambda item: item.llpd)
@@ -103,5 +107,5 @@ def build_zoo_workload(
         )
         items.append(NetworkWorkload(network=network, llpd=value, matrices=matrices))
     return ZooWorkload(
-        networks=items, locality=locality, growth_factor=growth_factor
+        networks=items, locality=locality, growth_factor=growth_factor, seed=seed
     )

@@ -317,24 +317,41 @@ class KspCache:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def dump(self) -> dict:
+    def dump(self, max_paths_per_pair: Optional[int] = None) -> dict:
         """JSON-serializable snapshot of the materialized paths.
 
         Only produced paths (and which pairs are exhausted) are captured;
         generator state is rebuilt lazily on demand after :meth:`load`.
+
+        ``max_paths_per_pair`` bounds the snapshot: each pair keeps at most
+        that many (shortest-first) paths, so long-lived cache files stop
+        growing without bound.  A pair whose tail was dropped is *not*
+        marked exhausted — after :meth:`load`, the first request beyond the
+        kept prefix resumes Yen's generator as usual.
         """
-        return {
-            "format": self.DUMP_FORMAT,
-            "signature": network_signature(self._network),
-            "pairs": [
+        if max_paths_per_pair is not None and max_paths_per_pair < 1:
+            raise ValueError(
+                f"max_paths_per_pair must be >= 1, got {max_paths_per_pair}"
+            )
+        pairs = []
+        for (src, dst), paths in sorted(self._paths.items()):
+            kept = paths
+            if max_paths_per_pair is not None:
+                kept = paths[:max_paths_per_pair]
+            pairs.append(
                 {
                     "src": src,
                     "dst": dst,
-                    "paths": [list(path) for path in paths],
-                    "exhausted": (src, dst) in self._exhausted,
+                    "paths": [list(path) for path in kept],
+                    "exhausted": (
+                        (src, dst) in self._exhausted and len(kept) == len(paths)
+                    ),
                 }
-                for (src, dst), paths in sorted(self._paths.items())
-            ],
+            )
+        return {
+            "format": self.DUMP_FORMAT,
+            "signature": network_signature(self._network),
+            "pairs": pairs,
         }
 
     @classmethod
@@ -370,7 +387,11 @@ class KspCache:
             )
         return cache
 
-    def dump_file(self, path: "os.PathLike[str] | str") -> None:
+    def dump_file(
+        self,
+        path: "os.PathLike[str] | str",
+        max_paths_per_pair: Optional[int] = None,
+    ) -> None:
         """Atomically write :meth:`dump` output as JSON.
 
         Write-to-temp plus ``os.replace`` keeps concurrent dumpers (the
@@ -383,7 +404,7 @@ class KspCache:
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(self.dump(), handle)
+                json.dump(self.dump(max_paths_per_pair=max_paths_per_pair), handle)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -422,3 +443,46 @@ class KspCache:
         if not isinstance(payload, dict):
             raise KspCacheMismatchError(f"corrupt KSP cache file {path}")
         return cls.load(payload, network)
+
+
+def sweep_ksp_cache_dir(
+    directory: "os.PathLike[str] | str", max_bytes: int
+) -> List[str]:
+    """Evict least-recently-used ``ksp-*.json`` files beyond a size budget.
+
+    Keeps the most recently used cache files whose cumulative size fits in
+    ``max_bytes`` and deletes the rest, returning the deleted paths.
+    Recency is the file's mtime: dumps rewrite the file, and the experiment
+    engine touches a cache it warm-loaded without extending, so mtime
+    tracks last *use*, not just last write.  Races with concurrent runs
+    are benign — a swept file is recomputed from cold on next use.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    directory = os.fspath(directory)
+    entries = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not (name.startswith("ksp-") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            status = os.stat(path)
+        except OSError:
+            continue  # concurrently removed
+        entries.append((status.st_mtime, status.st_size, path))
+    entries.sort(reverse=True)  # most recently used first
+    removed: List[str] = []
+    total = 0
+    for _, size, path in entries:
+        total += size
+        if total > max_bytes:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+    return removed

@@ -8,10 +8,14 @@ ingress routers are assumed to report both quantities (§5).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 Pair = Tuple[str, str]
+
+#: Version tag of the :func:`to_json` document layout.
+TM_JSON_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -126,8 +130,70 @@ class TrafficMatrix:
     def __len__(self) -> int:
         return len(self._demands)
 
+    def __eq__(self, other: object) -> bool:
+        """Equal iff demands (including pair order) and flow counts match.
+
+        Pair order matters downstream — :meth:`aggregates` order feeds the
+        LP models — so two matrices with identical values but different
+        insertion order are *not* equal.
+        """
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return (
+            list(self._demands.items()) == list(other._demands.items())
+            and all(
+                self.flows(*pair) == other.flows(*pair)
+                for pair in self._demands
+            )
+        )
+
+    __hash__ = None  # mutable mapping inside; never usable as a dict key
+
     def __repr__(self) -> str:
         return (
             f"TrafficMatrix(pairs={len(self._demands)}, "
             f"total={self.total_demand_bps / 1e9:.2f} Gb/s)"
         )
+
+
+# ----------------------------------------------------------------------
+# Serialization (mirrors :mod:`repro.net.io` for networks)
+# ----------------------------------------------------------------------
+def to_json(tm: TrafficMatrix) -> str:
+    """Serialize a traffic matrix to a JSON string.
+
+    Pairs appear in the matrix's own (insertion) order — the order
+    :meth:`TrafficMatrix.aggregates` feeds the LP models — so a round trip
+    is faithful, and the output is deterministic for signature hashing.
+    Zero-demand pairs are retained, as the matrix itself retains them.
+    """
+    payload = {
+        "format": "repro-tm",
+        "version": TM_JSON_FORMAT_VERSION,
+        "pairs": [
+            {
+                "src": src,
+                "dst": dst,
+                "demand_bps": demand,
+                "n_flows": tm.flows(src, dst),
+            }
+            for (src, dst), demand in tm.items()
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def from_json(text: str) -> TrafficMatrix:
+    """Reconstruct a traffic matrix from :func:`to_json` output."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-tm":
+        raise ValueError("not a repro traffic-matrix document")
+    if payload.get("version") != TM_JSON_FORMAT_VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    demands: Dict[Pair, float] = {}
+    flows: Dict[Pair, int] = {}
+    for entry in payload["pairs"]:
+        pair = (entry["src"], entry["dst"])
+        demands[pair] = float(entry["demand_bps"])
+        flows[pair] = int(entry["n_flows"])
+    return TrafficMatrix(demands, flow_counts=flows)

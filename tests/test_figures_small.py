@@ -124,3 +124,54 @@ class TestFig08Small:
         assert set(results) == {0.0, 0.2}
         for points in results.values():
             assert len(points) == len(mini_workload.networks)
+
+
+class TestStoreBackedSweeps:
+    """Figures 17/18/20 run on the engine now: stored re-renders must
+    reproduce a fresh run's data points with zero scheme evaluations."""
+
+    def test_fig17_render_matches_fresh(self, mini_items, tmp_path):
+        fresh = fig17_load_sweep(mini_items[:1], loads=(0.6, 0.9))
+        stored = fig17_load_sweep(
+            mini_items[:1], loads=(0.6, 0.9), store_dir=str(tmp_path)
+        )
+        rendered = fig17_load_sweep(
+            mini_items[:1],
+            loads=(0.6, 0.9),
+            store_dir=str(tmp_path),
+            store_only=True,
+        )
+        assert stored == fresh
+        assert rendered == fresh
+
+    def test_fig18_render_matches_fresh(self, mini_items, tmp_path):
+        networks = [item.network for item in mini_items[:1]]
+        kwargs = dict(localities=(0.0, 1.0), n_matrices=1)
+        fresh = fig18_locality_sweep(networks, **kwargs)
+        stored = fig18_locality_sweep(
+            networks, store_dir=str(tmp_path), **kwargs
+        )
+        rendered = fig18_locality_sweep(
+            networks, store_dir=str(tmp_path), store_only=True, **kwargs
+        )
+        assert stored == fresh
+        assert rendered == fresh
+
+    def test_fig20_render_matches_fresh(self, tmp_path):
+        rng = np.random.default_rng(11)
+        ring = ring_network(8, rng)
+        item = NetworkWorkload(
+            network=ring,
+            llpd=0.1,
+            matrices=build_traffic_matrices(ring, 2, rng, 1.0, 1.3),
+        )
+        kwargs = dict(growth_fraction=0.2, max_candidates=6)
+        fresh = fig20_growth_benefit([item], **kwargs)
+        stored = fig20_growth_benefit(
+            [item], store_dir=str(tmp_path), **kwargs
+        )
+        rendered = fig20_growth_benefit(
+            [item], store_dir=str(tmp_path), store_only=True, **kwargs
+        )
+        assert stored == fresh
+        assert rendered == fresh

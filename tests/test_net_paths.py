@@ -1,5 +1,7 @@
 """Unit tests for shortest paths, Yen's KSP and the path cache."""
 
+import os
+
 import pytest
 
 from repro.net.graph import Network, Node
@@ -16,6 +18,7 @@ from repro.net.paths import (
     path_links,
     shortest_path,
     shortest_path_delays,
+    sweep_ksp_cache_dir,
 )
 from repro.net.units import Gbps, ms
 
@@ -233,3 +236,82 @@ class TestKspCachePersistence:
         path.write_text("{definitely not json")
         with pytest.raises(KspCacheMismatchError):
             KspCache.load_file(path, triangle)
+
+
+class TestDumpBounds:
+    def test_dump_truncates_paths_per_pair(self, gts):
+        cache = KspCache(gts)
+        cache.get("n0-0", "n2-3", 4)
+        payload = cache.dump(max_paths_per_pair=2)
+        for entry in payload["pairs"]:
+            assert len(entry["paths"]) <= 2
+
+    def test_truncated_pair_not_marked_exhausted(self, square):
+        cache = KspCache(square)
+        assert len(cache.get("a", "c", 99)) == 2  # exhausts the pair
+        payload = cache.dump(max_paths_per_pair=1)
+        (entry,) = [e for e in payload["pairs"] if (e["src"], e["dst"]) == ("a", "c")]
+        assert entry["exhausted"] is False
+        # A bounded dump resumes Yen correctly past the kept prefix.
+        restored = KspCache.load(payload, square)
+        assert restored.get("a", "c", 99) == cache.get("a", "c", 99)
+
+    def test_unbounded_dump_keeps_exhaustion(self, square):
+        cache = KspCache(square)
+        cache.get("a", "c", 99)
+        payload = cache.dump(max_paths_per_pair=5)
+        (entry,) = [e for e in payload["pairs"] if (e["src"], e["dst"]) == ("a", "c")]
+        assert entry["exhausted"] is True
+
+    def test_dump_file_bound(self, diamond, tmp_path):
+        cache = KspCache(diamond)
+        cache.get("s", "t", 2)
+        path = tmp_path / "cache.json"
+        cache.dump_file(path, max_paths_per_pair=1)
+        restored = KspCache.load_file(path, diamond)
+        assert restored.count_cached("s", "t") == 1
+        assert restored.get("s", "t", 2) == cache.get("s", "t", 2)
+
+    def test_invalid_bound_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            KspCache(triangle).dump(max_paths_per_pair=0)
+
+
+class TestSweepCacheDir:
+    @staticmethod
+    def fake_cache(directory, name, size, mtime):
+        path = directory / f"ksp-{name}.json"
+        path.write_bytes(b"x" * size)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_keeps_recent_within_budget(self, tmp_path):
+        old = self.fake_cache(tmp_path, "old", 100, 1_000)
+        mid = self.fake_cache(tmp_path, "mid", 100, 2_000)
+        new = self.fake_cache(tmp_path, "new", 100, 3_000)
+        removed = sweep_ksp_cache_dir(tmp_path, max_bytes=250)
+        assert removed == [str(old)]
+        assert mid.exists() and new.exists() and not old.exists()
+
+    def test_under_budget_removes_nothing(self, tmp_path):
+        self.fake_cache(tmp_path, "a", 10, 1_000)
+        assert sweep_ksp_cache_dir(tmp_path, max_bytes=1_000) == []
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        self.fake_cache(tmp_path, "a", 10, 1_000)
+        self.fake_cache(tmp_path, "b", 10, 2_000)
+        assert len(sweep_ksp_cache_dir(tmp_path, max_bytes=0)) == 2
+
+    def test_ignores_foreign_files(self, tmp_path):
+        keep = tmp_path / "notes.json"
+        keep.write_text("{}")
+        self.fake_cache(tmp_path, "a", 50, 1_000)
+        sweep_ksp_cache_dir(tmp_path, max_bytes=0)
+        assert keep.exists()
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert sweep_ksp_cache_dir(tmp_path / "absent", max_bytes=0) == []
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sweep_ksp_cache_dir(tmp_path, max_bytes=-1)

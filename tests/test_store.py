@@ -1,0 +1,345 @@
+"""Tests for the durable result store: signatures, resume, rejection,
+torn-line recovery and stored-vs-recomputed equality."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.runner import evaluate_scheme
+from repro.experiments.store import (
+    ResultStore,
+    StoreMismatchError,
+    StoreMissError,
+    scheme_file_name,
+    workload_signature,
+)
+from repro.experiments.workloads import ZooWorkload, build_zoo_workload
+from repro.routing import ShortestPathRouting
+
+N_NETWORKS = 6
+N_MATRICES = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_zoo_workload(
+        n_networks=N_NETWORKS, n_matrices=N_MATRICES, seed=7, include_named=False
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_outcomes(workload):
+    """Outcomes of a plain storeless run, the ground truth for equality."""
+    return evaluate_scheme(lambda item: ShortestPathRouting(item.cache), workload)
+
+
+class CountingFactory:
+    """Scheme factory that counts how many networks were actually built."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, item):
+        self.calls += 1
+        return ShortestPathRouting(item.cache)
+
+
+class TestWorkloadSignature:
+    def test_deterministic_across_rebuilds(self, workload):
+        rebuilt = build_zoo_workload(
+            n_networks=N_NETWORKS,
+            n_matrices=N_MATRICES,
+            seed=7,
+            include_named=False,
+        )
+        assert workload_signature(workload) == workload_signature(rebuilt)
+
+    def test_demand_perturbation_changes_signature(self, workload):
+        item = workload.networks[0]
+        perturbed = dataclasses.replace(
+            item, matrices=[item.matrices[0].scaled(1.01)] + item.matrices[1:]
+        )
+        other = ZooWorkload(
+            networks=[perturbed] + workload.networks[1:],
+            locality=workload.locality,
+            growth_factor=workload.growth_factor,
+            seed=workload.seed,
+        )
+        assert workload_signature(workload) != workload_signature(other)
+
+    def test_truncation_and_shaping_params_keyed(self, workload):
+        base = workload_signature(workload)
+        assert workload_signature(workload, matrices_per_network=1) != base
+        reseeded = ZooWorkload(
+            networks=workload.networks,
+            locality=workload.locality,
+            growth_factor=workload.growth_factor,
+            seed=999,
+        )
+        assert workload_signature(reseeded) != base
+
+    def test_scheme_file_name_sanitized(self):
+        assert scheme_file_name("LDR@h=0.11") == "LDR@h=0.11.jsonl"
+        assert scheme_file_name("a/b c").startswith("a_b_c-")
+        with pytest.raises(ValueError):
+            scheme_file_name("")
+
+    def test_sanitization_collisions_get_distinct_streams(
+        self, workload, tmp_path
+    ):
+        # "a/b" sanitizes to "a_b"; without disambiguation the two keys
+        # would clobber each other's streams on every alternating run.
+        assert scheme_file_name("a/b") != scheme_file_name("a_b")
+        for scheme in ("a/b", "a_b"):
+            ExperimentEngine(store_dir=tmp_path).run(
+                CountingFactory(), workload, scheme=scheme
+            )
+        served = CountingFactory()
+        ExperimentEngine(store_dir=tmp_path).run(
+            served, workload, scheme="a/b"
+        )
+        assert served.calls == 0  # still fully stored, not clobbered
+
+
+class TestResume:
+    def test_restart_after_kill_evaluates_only_missing(
+        self, workload, tmp_path, reference_outcomes
+    ):
+        engine = ExperimentEngine(n_workers=1, store_dir=tmp_path)
+        first = CountingFactory()
+        stream = engine.stream(first, workload, scheme="SP")
+        for _ in range(2):  # "kill" the run after two networks
+            next(stream)
+        stream.close()
+        assert first.calls == 2
+
+        second = CountingFactory()
+        report = ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            second, workload, scheme="SP"
+        )
+        assert second.calls == N_NETWORKS - 2
+        assert report.outcomes == reference_outcomes
+
+    def test_fully_stored_run_builds_no_scheme(
+        self, workload, tmp_path, reference_outcomes
+    ):
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        served = CountingFactory()
+        report = ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            served, workload, scheme="SP"
+        )
+        assert served.calls == 0
+        assert report.outcomes == reference_outcomes
+
+    def test_no_resume_discards_and_recomputes(self, workload, tmp_path):
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        factory = CountingFactory()
+        ExperimentEngine(n_workers=1, store_dir=tmp_path, resume=False).run(
+            factory, workload, scheme="SP"
+        )
+        assert factory.calls == N_NETWORKS
+
+    def test_store_run_requires_scheme_name(self, workload, tmp_path):
+        engine = ExperimentEngine(n_workers=1, store_dir=tmp_path)
+        with pytest.raises(ValueError):
+            engine.run(CountingFactory(), workload)
+
+    def test_schemes_stored_in_separate_streams(self, workload, tmp_path):
+        store = ResultStore(tmp_path)
+        signature = workload_signature(workload)
+        ExperimentEngine(store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="A"
+        )
+        ExperimentEngine(store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="B"
+        )
+        assert store.stream_path(signature, "A").exists()
+        assert store.stream_path(signature, "B").exists()
+
+
+class TestRejection:
+    def tampered_stream(self, workload, tmp_path, mutate):
+        """Run once, apply ``mutate`` to the stream file, return its path."""
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        signature = workload_signature(workload)
+        path = ResultStore(tmp_path).stream_path(signature, "SP")
+        mutate(path)
+        return signature, path
+
+    def test_mismatched_header_signature_rejected(self, workload, tmp_path):
+        def swap_signature(path):
+            lines = path.read_text().splitlines()
+            header = json.loads(lines[0])
+            header["signature"] = "0" * 64
+            path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+
+        signature, _ = self.tampered_stream(workload, tmp_path, swap_signature)
+        with pytest.raises(StoreMismatchError):
+            ResultStore(tmp_path).load_results(signature, "SP")
+
+    def test_headerless_stream_rejected(self, workload, tmp_path):
+        def drop_header(path):
+            lines = path.read_text().splitlines()
+            path.write_text("\n".join(lines[1:]) + "\n")
+
+        signature, _ = self.tampered_stream(workload, tmp_path, drop_header)
+        with pytest.raises(StoreMismatchError):
+            ResultStore(tmp_path).load_results(signature, "SP")
+
+    def test_engine_never_trusts_mismatched_stream(self, workload, tmp_path):
+        def swap_signature(path):
+            lines = path.read_text().splitlines()
+            header = json.loads(lines[0])
+            header["signature"] = "0" * 64
+            path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+
+        self.tampered_stream(workload, tmp_path, swap_signature)
+        factory = CountingFactory()
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            factory, workload, scheme="SP"
+        )
+        # The tampered stream is discarded wholesale and rebuilt.
+        assert factory.calls == N_NETWORKS
+
+    def test_changed_workload_misses_by_key(self, workload, tmp_path):
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        other = build_zoo_workload(
+            n_networks=N_NETWORKS,
+            n_matrices=N_MATRICES,
+            seed=8,  # different ensemble, different signature
+            include_named=False,
+        )
+        factory = CountingFactory()
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            factory, other, scheme="SP"
+        )
+        assert factory.calls == N_NETWORKS
+
+
+class TestTornLineRecovery:
+    def stream_path(self, workload, tmp_path):
+        return ResultStore(tmp_path).stream_path(
+            workload_signature(workload), "SP"
+        )
+
+    def test_truncated_trailing_record_recomputed(
+        self, workload, tmp_path, reference_outcomes
+    ):
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        path = self.stream_path(workload, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-20])  # tear the last record mid-write
+
+        factory = CountingFactory()
+        report = ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            factory, workload, scheme="SP"
+        )
+        assert factory.calls == 1  # only the torn network
+        assert report.outcomes == reference_outcomes
+        # The repaired stream is fully valid again.
+        assert all(
+            json.loads(line) for line in path.read_text().splitlines()
+        )
+
+    def test_garbage_tail_truncated_before_appending(
+        self, workload, tmp_path, reference_outcomes
+    ):
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        path = self.stream_path(workload, tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "index"')  # torn, no newline
+
+        factory = CountingFactory()
+        report = ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            factory, workload, scheme="SP"
+        )
+        assert factory.calls == 0  # every whole record survived
+        assert report.outcomes == reference_outcomes
+
+
+class TestStoredEqualsRecomputed:
+    def test_across_worker_counts(self, workload, tmp_path, reference_outcomes):
+        stored_parallel = evaluate_scheme(
+            lambda item: ShortestPathRouting(item.cache),
+            workload,
+            n_workers=4,
+            store_dir=tmp_path,
+            scheme="SP",
+        )
+        assert stored_parallel == reference_outcomes
+        served_serial = evaluate_scheme(
+            lambda item: ShortestPathRouting(item.cache),
+            workload,
+            n_workers=1,
+            store_dir=tmp_path,
+            scheme="SP",
+        )
+        assert served_serial == reference_outcomes
+
+    def test_store_only_serves_without_evaluating(
+        self, workload, tmp_path, reference_outcomes
+    ):
+        with pytest.raises(StoreMissError):
+            ExperimentEngine(store_dir=tmp_path, store_only=True).run(
+                CountingFactory(), workload, scheme="SP"
+            )
+        ExperimentEngine(n_workers=1, store_dir=tmp_path).run(
+            CountingFactory(), workload, scheme="SP"
+        )
+        factory = CountingFactory()
+        report = ExperimentEngine(store_dir=tmp_path, store_only=True).run(
+            factory, workload, scheme="SP"
+        )
+        assert factory.calls == 0
+        assert report.outcomes == reference_outcomes
+
+    def test_store_only_requires_store_dir(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(store_only=True)
+
+
+class TestCli:
+    def run_cli(self, argv):
+        from repro.experiments.__main__ import main
+
+        return main(argv)
+
+    def test_run_then_render_round_trip(self, tmp_path, capsys):
+        argv = ["fig03", "--networks", "3", "--tms", "1",
+                "--store-dir", str(tmp_path)]
+        assert self.run_cli(argv) == 0
+        first = capsys.readouterr().out
+        assert self.run_cli(["render"] + argv) == 0
+        rendered = capsys.readouterr().out
+        assert rendered == first
+
+    def test_render_missing_results_fails(self, tmp_path, capsys):
+        code = self.run_cli(
+            ["render", "fig03", "--networks", "3", "--tms", "1",
+             "--store-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "result store" in capsys.readouterr().err
+
+    def test_render_requires_store_dir(self, capsys):
+        assert self.run_cli(["render", "fig03"]) == 2
+
+    def test_render_rejects_non_store_figure(self, tmp_path, capsys):
+        code = self.run_cli(
+            ["render", "fig09", "--store-dir", str(tmp_path)]
+        )
+        assert code == 2

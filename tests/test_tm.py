@@ -14,6 +14,8 @@ from repro.tm import (
 )
 from repro.tm.gravity import zipf_masses
 from repro.tm.matrix import Aggregate
+from repro.tm.matrix import from_json as tm_from_json
+from repro.tm.matrix import to_json as tm_to_json
 from repro.tm.scale import min_cut_load
 
 
@@ -218,3 +220,49 @@ class TestScaling:
         lam1 = max_scale_factor(triangle, tm)
         lam2 = max_scale_factor(triangle, tm.scaled(2.0))
         assert lam1 == pytest.approx(2 * lam2, rel=1e-6)
+
+
+class TestTmJson:
+    def test_round_trip_equality(self, gts, rng):
+        tm = gravity_traffic_matrix(gts, rng)
+        assert tm_from_json(tm_to_json(tm)) == tm
+
+    def test_round_trip_preserves_pair_order(self):
+        tm = TrafficMatrix({("b", "a"): 1.0, ("a", "b"): 2.0})
+        restored = tm_from_json(tm_to_json(tm))
+        assert restored.pairs == [("b", "a"), ("a", "b")]
+
+    def test_zero_demand_pairs_retained(self):
+        tm = TrafficMatrix({("a", "b"): 0.0, ("b", "a"): 5.0})
+        restored = tm_from_json(tm_to_json(tm))
+        assert restored.demand("a", "b") == 0.0
+        assert ("a", "b") in restored.pairs
+
+    def test_explicit_flow_counts_survive(self):
+        tm = TrafficMatrix(
+            {("a", "b"): 1e9}, flow_counts={("a", "b"): 7}
+        )
+        restored = tm_from_json(tm_to_json(tm))
+        assert restored.flows("a", "b") == 7
+
+    def test_float_demands_exact(self):
+        demand = 0.1 + 0.2  # not representable exactly in decimal
+        tm = TrafficMatrix({("a", "b"): demand})
+        assert tm_from_json(tm_to_json(tm)).demand("a", "b") == demand
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            tm_from_json('{"format": "something-else", "version": 1}')
+
+    def test_rejects_unknown_version(self):
+        tm = TrafficMatrix({("a", "b"): 1.0})
+        payload = tm_to_json(tm).replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            tm_from_json(payload)
+
+    def test_equality_is_order_sensitive(self):
+        forward = TrafficMatrix({("a", "b"): 1.0, ("b", "a"): 2.0})
+        backward = TrafficMatrix({("b", "a"): 2.0, ("a", "b"): 1.0})
+        same = TrafficMatrix({("a", "b"): 1.0, ("b", "a"): 2.0})
+        assert forward == same
+        assert forward != backward  # aggregate order feeds the LPs
