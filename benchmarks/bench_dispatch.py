@@ -1,0 +1,56 @@
+"""Dispatch coordinator overhead: shard + subprocess workers + merge.
+
+A dispatched run pays for what the in-process engine gets for free —
+manifest serialization, one interpreter start per worker, and the store
+merge — in exchange for crossing host boundaries.  This benchmark runs
+the same (workload, scheme) through the serial in-process engine and the
+two-shard subprocess coordinator, records both (plus the coordinator
+overhead, their difference) to ``BENCH_dispatch.json`` at the repo root,
+and asserts the dispatched outcomes are bit-identical to the in-process
+ones — the determinism contract the whole subsystem rests on.
+
+Shard count scales with ``REPRO_BENCH_WORKERS`` (min 2, so the merge path
+always exercises multiple worker stores).
+"""
+
+import time
+
+from benchmarks.conftest import N_WORKERS, record_bench_json
+from repro.experiments.dispatch import dispatch_run
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.spec import SchemeSpec
+
+N_SHARDS = max(2, N_WORKERS)
+
+
+def test_dispatch_overhead(benchmark, standard_workload, tmp_path_factory):
+    spec = SchemeSpec("SP")
+
+    start = time.perf_counter()
+    direct = ExperimentEngine(n_workers=1).run(spec, standard_workload)
+    in_process_s = time.perf_counter() - start
+
+    def dispatched_run():
+        base = tmp_path_factory.mktemp("dispatch")
+        return dispatch_run(
+            spec,
+            standard_workload,
+            n_shards=N_SHARDS,
+            store_dir=base / "store",
+            work_dir=base / "work",
+        )
+
+    outcomes = benchmark.pedantic(dispatched_run, rounds=1, iterations=1)
+    dispatched_s = benchmark.stats.stats.total
+
+    assert outcomes == direct.outcomes  # bit-identical across the boundary
+    record_bench_json(
+        "dispatch",
+        {
+            "n_networks": len(standard_workload.networks),
+            "n_shards": N_SHARDS,
+            "in_process_s": in_process_s,
+            "dispatched_s": dispatched_s,
+            "coordinator_overhead_s": dispatched_s - in_process_s,
+        },
+    )

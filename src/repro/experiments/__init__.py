@@ -5,8 +5,12 @@ scripts.  :mod:`repro.experiments.workloads` builds (network, traffic
 matrix ensemble) pairs; :mod:`repro.experiments.runner` evaluates routing
 schemes over them; :mod:`repro.experiments.engine` shards that evaluation
 across a process pool with persistent KSP caches;
-:mod:`repro.experiments.figures` computes each paper figure's series;
-:mod:`repro.experiments.render` prints them as text.
+:mod:`repro.experiments.spec` names schemes declaratively (picklable,
+registry-resolved) so evaluations can cross process and host boundaries;
+:mod:`repro.experiments.dispatch` shards a workload into self-contained
+manifests, runs them in worker subprocesses and merges their result
+stores; :mod:`repro.experiments.figures` computes each paper figure's
+series; :mod:`repro.experiments.render` prints them as text.
 """
 
 from repro.experiments.workloads import ZooWorkload, build_zoo_workload
@@ -16,6 +20,7 @@ from repro.experiments.engine import (
     ExperimentEngine,
     NetworkResult,
 )
+from repro.experiments.spec import SchemeSpec, registered_schemes
 
 __all__ = [
     "ZooWorkload",
@@ -25,4 +30,6 @@ __all__ = [
     "EngineReport",
     "ExperimentEngine",
     "NetworkResult",
+    "SchemeSpec",
+    "registered_schemes",
 ]

@@ -5,6 +5,10 @@ Usage::
     python -m repro.experiments fig03 [--networks 18] [--tms 2] [--workers 4]
     python -m repro.experiments fig03 --store-dir results/   # persist + resume
     python -m repro.experiments render fig03 --store-dir results/
+    python -m repro.experiments dispatch SP --shards 2 --store-dir results/
+    python -m repro.experiments worker shard-000.json --store-dir worker0/
+    python -m repro.experiments store ls --store-dir results/
+    python -m repro.experiments store gc --store-dir results/ --max-age-days 30
     python -m repro.experiments list
 
 With ``--store-dir``, every completed network's results are appended to a
@@ -13,6 +17,14 @@ restarted with the same arguments evaluates only the missing networks
 (``--resume``, the default; ``--no-resume`` discards the stored stream and
 recomputes).  The ``render`` subcommand re-draws a figure *purely* from the
 store — zero scheme evaluations — and fails if any result is missing.
+
+``dispatch`` shards the standard workload into self-contained JSON shard
+manifests, evaluates them in separate ``worker`` subprocesses (each
+appending to its own store), and merges the worker stores back into
+``--store-dir`` — the same cycle a multi-host run performs by copying
+manifests out and store directories back.  ``worker`` is that
+subprocess's entry point and runs anywhere the package is importable.
+``store ls`` / ``store gc`` list and prune the store's streams.
 
 Benchmarks under ``benchmarks/`` do the same with timing and shape
 assertions; this entry point is the quick, dependency-free way to look at
@@ -27,9 +39,15 @@ import sys
 import numpy as np
 
 
-def build_workload(args, growth_factor: float = 1.3):
+def build_workload(args, growth_factor: float = None):
     from repro.experiments.workloads import build_zoo_workload
 
+    if growth_factor is None:
+        # Callers with a fixed setting (fig08's lighter load) pass it
+        # explicitly; everything else follows --growth-factor so that
+        # `store gc --match-workload` and `dispatch` can describe any
+        # workload the figure runners can build.
+        growth_factor = getattr(args, "growth_factor", 1.3)
     return build_zoo_workload(
         n_networks=args.networks,
         n_matrices=args.tms,
@@ -192,6 +210,127 @@ def run_fig20(args) -> str:
     return "\n\n".join(sections)
 
 
+def run_worker_command(args) -> int:
+    """`worker <manifest>`: evaluate one shard into its own store."""
+    from repro.experiments.dispatch import run_worker
+
+    if args.target is None:
+        print("worker needs a manifest path", file=sys.stderr)
+        return 2
+    if args.store_dir is None:
+        print("worker needs --store-dir", file=sys.stderr)
+        return 2
+    summary = run_worker(
+        args.target,
+        store_dir=args.store_dir,
+        cache_dir=args.cache_dir,
+        cache_max_paths=args.cache_max_paths,
+        resume=args.resume,
+    )
+    print(
+        f"worker: shard {summary['shard_index'] + 1}/{summary['n_shards']} "
+        f"scheme {summary['scheme']}: evaluated {summary['evaluated']}, "
+        f"skipped {summary['skipped']} (already stored) -> "
+        f"{summary['stream']}"
+    )
+    return 0
+
+
+def run_dispatch_command(args) -> int:
+    """`dispatch <scheme>`: shard, run subprocess workers, merge, serve."""
+    import json
+
+    from repro.experiments.dispatch import dispatch_run
+    from repro.experiments.spec import SchemeSpec, registered_schemes
+
+    if args.target is None:
+        print(
+            f"dispatch needs a scheme name; registered: "
+            f"{', '.join(registered_schemes())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_dir is None:
+        print("dispatch needs --store-dir", file=sys.stderr)
+        return 2
+    params = json.loads(args.params) if args.params else {}
+    spec = SchemeSpec(args.target, params)
+    workload = build_workload(args)
+    outcomes = dispatch_run(
+        spec,
+        workload,
+        n_shards=args.shards,
+        store_dir=args.store_dir,
+        work_dir=args.work_dir,
+        cache_dir=args.cache_dir,
+        cache_max_paths=args.cache_max_paths,
+        resume=args.resume,
+    )
+    print(
+        f"dispatch: {args.shards} shard worker(s) evaluated "
+        f"{len(workload.networks)} networks "
+        f"({len(outcomes)} outcomes) for scheme {spec.scheme!r}; "
+        f"merged into {args.store_dir}"
+    )
+    return 0
+
+
+def run_store_command(args) -> int:
+    """`store ls` / `store gc`: list and prune result-store streams."""
+    from repro.experiments.store import ResultStore, workload_signature
+
+    if args.target not in ("ls", "gc"):
+        print("store needs an action: ls or gc", file=sys.stderr)
+        return 2
+    if args.store_dir is None:
+        print("store needs --store-dir", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store_dir)
+    if args.target == "ls":
+        streams = store.list_streams()
+        if not streams:
+            print(f"store {args.store_dir}: empty")
+            return 0
+        for record in streams:
+            scheme = record["scheme"] or "<no valid header>"
+            total = record["n_networks"]
+            progress = (
+                f"{record['n_results']}/{total}"
+                if total is not None
+                else f"{record['n_results']}"
+            )
+            print(
+                f"{record['signature'][:16]}  {scheme:24s} "
+                f"{progress:>9s} networks  {record['bytes']:>10d} bytes"
+            )
+        return 0
+
+    keep = None
+    if args.match_workload:
+        # Prune everything except the signature of the workload the other
+        # CLI flags describe — the knob for "keep only the current run".
+        keep = {workload_signature(build_workload(args))}
+    if args.keep:
+        keep = (keep or set()) | set(args.keep)
+    max_age_s = (
+        args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    )
+    if max_age_s is None and keep is None:
+        print(
+            "store gc needs --max-age-days, --keep or --match-workload "
+            "(refusing to prune everything by default)",
+            file=sys.stderr,
+        )
+        return 2
+    removed = store.gc(max_age_s=max_age_s, keep_signatures=keep)
+    if removed:
+        for path in removed:
+            print(f"pruned {path}")
+    else:
+        print("nothing to prune")
+    return 0
+
+
 RUNNERS = {
     "fig01": run_fig01,
     "fig03": run_fig03,
@@ -217,17 +356,28 @@ def main(argv=None) -> int:
     parser.add_argument(
         "figure",
         help="figure id (e.g. fig03), 'render' to re-draw one purely from "
-        "the result store, or 'list' to enumerate available ones",
+        "the result store, 'dispatch'/'worker' for sharded subprocess "
+        "runs, 'store' for ls/gc, or 'list' to enumerate available ones",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="figure id to re-draw (only with 'render')",
+        help="figure id (render), scheme name (dispatch), manifest path "
+        "(worker), or action (store: ls|gc)",
     )
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--growth-factor",
+        type=float,
+        default=1.3,
+        help="workload min-cut load shaping (1.3 = the paper's default "
+        "77%% load; fig08 always uses its own 1.65).  Matters for "
+        "dispatch and for store gc --match-workload, whose signature "
+        "must describe the workload that populated the store",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -268,14 +418,69 @@ def main(argv=None) -> int:
         help="serve already-stored networks from --store-dir instead of "
         "re-evaluating them (--no-resume discards the stored stream)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shard manifests / worker subprocesses (dispatch)",
+    )
+    parser.add_argument(
+        "--work-dir",
+        default=None,
+        help="where dispatch writes shard manifests and worker stores "
+        "(default: a temp directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--params",
+        default=None,
+        help="JSON object of scheme params for dispatch, e.g. "
+        "'{\"headroom\": 0.1}'",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="store gc: prune workload-signature dirs whose newest stream "
+        "is older than this many days",
+    )
+    parser.add_argument(
+        "--keep",
+        action="append",
+        default=None,
+        metavar="SIGNATURE",
+        help="store gc: prune signature dirs NOT listed here (repeatable)",
+    )
+    parser.add_argument(
+        "--match-workload",
+        action="store_true",
+        help="store gc: keep only the signature of the workload described "
+        "by --networks/--tms/--seed, prune the rest",
+    )
     args = parser.parse_args(argv)
     args.store_only = False
 
+    from repro.experiments.store import StoreError
+
     figure = args.figure
+    if figure in ("worker", "dispatch", "store"):
+        command = {
+            "worker": run_worker_command,
+            "dispatch": run_dispatch_command,
+            "store": run_store_command,
+        }[figure]
+        try:
+            return command(args)
+        except StoreError as exc:
+            print(f"{figure}: {exc}", file=sys.stderr)
+            return 1
     if figure == "list":
+        from repro.experiments.spec import registered_schemes
+
         print("available:", ", ".join(sorted(RUNNERS)))
         print("store-backed (resumable, renderable):",
               ", ".join(sorted(STORE_BACKED)))
+        print("dispatchable schemes (dispatch/worker):",
+              ", ".join(registered_schemes()))
         print("(figures 15/16/19 run via pytest benchmarks/ --benchmark-only)")
         return 0
     if figure == "render":

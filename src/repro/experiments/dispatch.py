@@ -1,0 +1,462 @@
+"""Multi-host shard dispatch: manifests, workers, and store merge.
+
+The engine shards one workload across local processes; this module shards
+it across *store directories*, which is what makes the boundary a host
+boundary: a shard manifest is a self-contained JSON file (networks,
+traffic matrices, scheme spec, shaping parameters, and the full-workload
+store signature), a worker is any interpreter anywhere running
+
+    python -m repro.experiments worker <manifest> --store-dir <dir>
+
+and collection is a merge of the worker's result-store streams back into
+the main store.  N-host dispatch is therefore: copy N manifests to N
+hosts, run N workers, copy N store directories back, merge.  The local
+coordinator (:func:`dispatch_run`) does exactly that with subprocesses
+and temp directories, so the single-host path exercises the same
+manifest/worker/merge machinery a cluster run would.
+
+Determinism
+-----------
+
+A worker reconstructs its networks and matrices from the manifest's JSON
+forms (floats round-trip exactly), resolves the scheme spec through the
+registry, and evaluates each item with the *original* workload index — so
+its :class:`~repro.experiments.engine.NetworkResult` records are
+bit-identical to what the in-process engine would have produced, and the
+merged store serves outcomes equal to a serial
+:func:`~repro.experiments.runner.evaluate_scheme` run
+(:func:`dispatch_run` with ``verify=True`` asserts this).
+
+The merge deduplicates by (workload signature, scheme, network index):
+re-merging a worker store is a no-op, and two workers that redundantly
+evaluated the same network contribute one record.  A record whose
+``network_id`` disagrees with an already-merged one for the same index
+raises :class:`~repro.experiments.store.StoreMismatchError` — that is two
+*different* workloads colliding on a key and must never be papered over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.engine import ExperimentEngine, NetworkResult
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.store import (
+    ResultStore,
+    StoreError,
+    StoreMismatchError,
+    workload_signature,
+)
+from repro.experiments.workloads import NetworkWorkload, ZooWorkload
+from repro.net.io import from_json as network_from_json
+from repro.net.io import to_json as network_to_json
+from repro.tm.matrix import from_json as tm_from_json
+from repro.tm.matrix import to_json as tm_to_json
+
+MANIFEST_FORMAT = "repro-shard-manifest"
+MANIFEST_VERSION = 1
+
+
+class DispatchError(StoreError):
+    """A shard worker failed or produced an inconsistent store."""
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def shard_indices(n_networks: int, n_shards: int) -> List[List[int]]:
+    """Stripe workload indices across shards (round-robin).
+
+    Striping balances better than contiguous chunks when network size
+    correlates with position (the zoo generator tends to emit similar
+    sizes in runs); every index appears in exactly one shard.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    shards: List[List[int]] = [[] for _ in range(min(n_shards, n_networks))]
+    for index in range(n_networks):
+        shards[index % len(shards)].append(index)
+    return shards
+
+
+def build_manifest(
+    spec: SchemeSpec,
+    workload: ZooWorkload,
+    indices: Sequence[int],
+    scheme: str,
+    signature: str,
+    shard_index: int,
+    n_shards: int,
+    matrices_per_network: Optional[int] = None,
+) -> dict:
+    """The self-contained JSON payload for one shard."""
+    entries = []
+    for index in indices:
+        item = workload.networks[index]
+        matrices = item.matrices
+        if matrices_per_network is not None:
+            matrices = matrices[:matrices_per_network]
+        entries.append(
+            {
+                "index": index,
+                "llpd": item.llpd,
+                "network": json.loads(network_to_json(item.network)),
+                "matrices": [json.loads(tm_to_json(tm)) for tm in matrices],
+            }
+        )
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "scheme": scheme,
+        "spec": spec.to_jsonable(),
+        "signature": signature,
+        "n_networks": len(workload.networks),
+        "matrices_per_network": matrices_per_network,
+        "shard_index": shard_index,
+        "n_shards": n_shards,
+        "shaping": {
+            "locality": workload.locality,
+            "growth_factor": workload.growth_factor,
+            "seed": workload.seed,
+        },
+        "networks": entries,
+    }
+
+
+def write_shard_manifests(
+    spec: SchemeSpec,
+    workload: ZooWorkload,
+    n_shards: int,
+    out_dir: "os.PathLike[str] | str",
+    scheme: Optional[str] = None,
+    matrices_per_network: Optional[int] = None,
+) -> List[Path]:
+    """Split a workload into shard manifest files under ``out_dir``.
+
+    ``scheme`` names the result-store stream (defaults to the spec's
+    registry name); the signature stored in every manifest is the *full*
+    workload's, so all shards append into one mergeable key.
+    """
+    scheme = scheme or spec.scheme
+    signature = workload_signature(workload, matrices_per_network)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    shards = shard_indices(len(workload.networks), n_shards)
+    for shard_index, indices in enumerate(shards):
+        manifest = build_manifest(
+            spec,
+            workload,
+            indices,
+            scheme=scheme,
+            signature=signature,
+            shard_index=shard_index,
+            n_shards=len(shards),
+            matrices_per_network=matrices_per_network,
+        )
+        path = out / f"shard-{shard_index:03d}.json"
+        path.write_text(json.dumps(manifest, indent=2))
+        paths.append(path)
+    return paths
+
+
+def load_manifest(path: "os.PathLike[str] | str") -> dict:
+    """Read and validate a shard manifest file."""
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise DispatchError(f"{path}: not a {MANIFEST_FORMAT} document")
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise DispatchError(
+            f"{path}: unsupported manifest version "
+            f"{manifest.get('version')!r}"
+        )
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def manifest_items(manifest: dict) -> List[tuple]:
+    """(global index, rebuilt :class:`NetworkWorkload`) per shard entry."""
+    items = []
+    for entry in manifest["networks"]:
+        network = network_from_json(json.dumps(entry["network"]))
+        matrices = [tm_from_json(json.dumps(tm)) for tm in entry["matrices"]]
+        items.append(
+            (
+                entry["index"],
+                NetworkWorkload(
+                    network=network, llpd=entry["llpd"], matrices=matrices
+                ),
+            )
+        )
+    return items
+
+
+def run_worker(
+    manifest_path: "os.PathLike[str] | str",
+    store_dir: "os.PathLike[str] | str",
+    cache_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_max_paths: Optional[int] = None,
+    resume: bool = True,
+) -> dict:
+    """Evaluate one shard and append its results to ``store_dir``.
+
+    The worker's store stream carries the manifest's full-workload
+    signature, so several workers' stores merge into one key.  Already-
+    stored indices are skipped (a re-run worker resumes like the engine
+    does).  Returns a summary dict for logging.
+    """
+    manifest = load_manifest(manifest_path)
+    spec = SchemeSpec.from_jsonable(manifest["spec"])
+    scheme = manifest["scheme"]
+    signature = manifest["signature"]
+    engine = ExperimentEngine(
+        n_workers=1, cache_dir=cache_dir, cache_max_paths=cache_max_paths
+    )
+    store = ResultStore(store_dir)
+    writer = store.open_writer(
+        signature, scheme, n_networks=manifest["n_networks"], resume=resume
+    )
+    evaluated = skipped = 0
+    try:
+        for index, item in manifest_items(manifest):
+            if index in writer.stored:
+                skipped += 1
+                continue
+            result = engine._evaluate_network(
+                spec, item, manifest["matrices_per_network"], index
+            )
+            writer.append(result)
+            evaluated += 1
+    finally:
+        writer.close()
+    return {
+        "shard_index": manifest["shard_index"],
+        "n_shards": manifest["n_shards"],
+        "scheme": scheme,
+        "signature": signature,
+        "evaluated": evaluated,
+        "skipped": skipped,
+        "stream": os.fspath(store.stream_path(signature, scheme)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def merge_worker_store(
+    main_store_dir: "os.PathLike[str] | str",
+    worker_store_dir: "os.PathLike[str] | str",
+) -> Dict[str, int]:
+    """Merge every stream of a worker store into the main store.
+
+    Deduplicates by (signature, scheme, network index): records whose
+    index the main stream already holds are dropped, so merging is
+    idempotent — re-merging the same worker store appends nothing.  An
+    index collision with a *different* ``network_id`` raises
+    :class:`StoreMismatchError` instead of silently keeping either.
+
+    Returns ``{"<signature>/<scheme>": records appended}`` per stream.
+    """
+    from repro.experiments.store import _scan_stream
+
+    worker_root = Path(worker_store_dir)
+    main = ResultStore(main_store_dir)
+    appended: Dict[str, int] = {}
+    if not worker_root.is_dir():
+        return appended
+    for stream in sorted(worker_root.glob("*/*.jsonl")):
+        signature = stream.parent.name
+        header, results, _ = _scan_stream(os.fspath(stream))
+        if header is None:
+            raise StoreMismatchError(f"{stream}: no valid header record")
+        if header.get("signature") != signature:
+            raise StoreMismatchError(
+                f"{stream}: header signature "
+                f"{header.get('signature')!r} does not match its "
+                f"directory {signature!r}"
+            )
+        scheme = header["scheme"]
+        writer = main.open_writer(
+            signature,
+            scheme,
+            n_networks=header.get("n_networks", len(results)),
+            resume=True,
+        )
+        count = 0
+        try:
+            for index in sorted(results):
+                result = results[index]
+                existing = writer.stored.get(index)
+                if existing is not None:
+                    if existing.network_id != result.network_id:
+                        raise StoreMismatchError(
+                            f"{stream}: index {index} holds "
+                            f"{result.network_id!r} but the main store has "
+                            f"{existing.network_id!r} under the same key"
+                        )
+                    continue
+                writer.append(result)
+                count += 1
+        finally:
+            writer.close()
+        appended[f"{signature}/{scheme}"] = count
+    return appended
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _worker_command(
+    manifest: Path,
+    store_dir: Path,
+    cache_dir: Optional[Path],
+    cache_max_paths: Optional[int],
+) -> List[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "worker",
+        os.fspath(manifest),
+        "--store-dir",
+        os.fspath(store_dir),
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", os.fspath(cache_dir)]
+    if cache_max_paths is not None:
+        command += ["--cache-max-paths", str(cache_max_paths)]
+    return command
+
+
+def _worker_env() -> dict:
+    """Subprocess environment with this repro package importable."""
+    env = dict(os.environ)
+    package_root = os.fspath(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def dispatch_run(
+    spec: SchemeSpec,
+    workload: ZooWorkload,
+    n_shards: int,
+    store_dir: "os.PathLike[str] | str",
+    scheme: Optional[str] = None,
+    matrices_per_network: Optional[int] = None,
+    work_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_max_paths: Optional[int] = None,
+    resume: bool = True,
+    verify: bool = False,
+) -> List:
+    """Shard, run workers as subprocesses, merge, and serve the results.
+
+    The full coordinator cycle on one machine: write ``n_shards`` shard
+    manifests under ``work_dir`` (a temp directory by default), launch one
+    ``python -m repro.experiments worker`` subprocess per manifest (each
+    appending to its own store directory), merge the worker stores into
+    ``store_dir``, and return the outcomes served from the merged store —
+    in workload order, equal to what a serial in-process run returns.
+
+    ``resume=False`` discards the main store's existing stream for this
+    (workload, scheme) before merging, so the freshly dispatched results
+    replace — rather than lose to — whatever the store already held.  The
+    discard happens only after every worker succeeded; a failed dispatch
+    never destroys existing results.
+
+    ``verify=True`` additionally runs the in-process serial engine and
+    raises :class:`DispatchError` on any outcome difference; it exists for
+    tests and smoke checks, since it obviously re-pays the whole
+    evaluation cost.
+    """
+    scheme = scheme or spec.scheme
+    own_work_dir = None
+    if work_dir is None:
+        own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")
+        work_dir = own_work_dir.name
+    work = Path(work_dir)
+    try:
+        manifests = write_shard_manifests(
+            spec,
+            workload,
+            n_shards,
+            work / "manifests",
+            scheme=scheme,
+            matrices_per_network=matrices_per_network,
+        )
+        env = _worker_env()
+        procs = []
+        for shard_index, manifest in enumerate(manifests):
+            worker_store = work / f"worker-{shard_index:03d}"
+            procs.append(
+                (
+                    manifest,
+                    worker_store,
+                    subprocess.Popen(
+                        _worker_command(
+                            manifest,
+                            worker_store,
+                            Path(cache_dir) if cache_dir else None,
+                            cache_max_paths,
+                        ),
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        env=env,
+                        text=True,
+                    ),
+                )
+            )
+        failures = []
+        for manifest, _, proc in procs:
+            _, stderr = proc.communicate()
+            if proc.returncode != 0:
+                failures.append(
+                    f"{manifest.name} exited {proc.returncode}: "
+                    f"{stderr.strip()[-2000:]}"
+                )
+        if failures:
+            raise DispatchError(
+                "shard worker(s) failed:\n" + "\n".join(failures)
+            )
+        if not resume:
+            # Reset the main stream so merged records replace, not lose
+            # to, stale ones the store already held for this key.
+            ResultStore(store_dir).open_writer(
+                workload_signature(workload, matrices_per_network),
+                scheme,
+                n_networks=len(workload.networks),
+                resume=False,
+            ).close()
+        for _, worker_store, _ in procs:
+            merge_worker_store(store_dir, worker_store)
+    finally:
+        if own_work_dir is not None:
+            own_work_dir.cleanup()
+
+    served = ExperimentEngine(store_dir=store_dir, store_only=True).run(
+        spec, workload, matrices_per_network, scheme
+    )
+    outcomes = served.outcomes
+    if verify:
+        direct = ExperimentEngine(n_workers=1).run(
+            spec, workload, matrices_per_network
+        )
+        if outcomes != direct.outcomes:
+            raise DispatchError(
+                "dispatched outcomes differ from the in-process engine's "
+                f"for scheme {scheme!r}"
+            )
+    return outcomes

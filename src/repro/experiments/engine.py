@@ -22,12 +22,19 @@ Sharding/determinism contract
   ``n_workers``: results are streamed back per network (in completion
   order, exposed by :meth:`ExperimentEngine.stream`) and re-assembled into
   workload order before they are returned.
-* Worker processes are created with the ``fork`` start method so that the
-  scheme factory (usually a closure) and the workload never need to be
-  pickled; only network indices travel to the workers and only
+* Worker processes prefer the ``fork`` start method so that the scheme
+  factory (possibly a closure) and the workload never need to be pickled;
+  only network indices travel to the workers and only
   :class:`SchemeOutcome` lists travel back.  Where ``fork`` is unavailable
-  (non-POSIX platforms) the engine degrades to the deterministic serial
-  path — same results, no parallelism.
+  (Windows, macOS spawn-default interpreters) and the factory is a
+  picklable :class:`~repro.experiments.spec.SchemeSpec`, the engine falls
+  back to a ``spawn`` pool: each task ships the spec plus the item's
+  serialized network/matrices/KSP-paths and produces the same outcomes
+  (warm-cache state affects only timing, never results).  Only when
+  neither start method can run the factory does the engine degrade to the
+  deterministic serial path — same results, no parallelism — and it warns
+  (:class:`RuntimeWarning`) when doing so, since silently losing
+  parallelism is a performance bug waiting to be misread.
 * With a ``cache_dir``, each worker warms its network's KSP cache from
   ``ksp-<network_signature>.json`` when a valid file exists and dumps the
   (possibly extended) cache back after evaluating.  Files are keyed by a
@@ -51,6 +58,7 @@ import itertools
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -261,10 +269,36 @@ class ExperimentEngine:
         if not indices:
             return iter(())
         workers = min(self.n_workers, len(indices))
-        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
-            return self._stream_parallel(
-                scheme_factory, workload, matrices_per_network, indices, workers
-            )
+        if workers > 1:
+            from repro.experiments.spec import is_spawn_safe
+
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                return self._stream_parallel(
+                    scheme_factory, workload, matrices_per_network, indices,
+                    workers,
+                )
+            if "spawn" in methods and is_spawn_safe(scheme_factory):
+                return self._stream_spawn(
+                    scheme_factory, workload, matrices_per_network, indices,
+                    workers,
+                )
+            if "spawn" in methods:
+                warnings.warn(
+                    "fork start method unavailable and the scheme factory "
+                    "is not a picklable SchemeSpec (see "
+                    "repro.experiments.spec); falling back to serial "
+                    "evaluation",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                warnings.warn(
+                    "no usable multiprocessing start method (need fork or "
+                    "spawn); falling back to serial evaluation",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         return self._stream_serial(
             scheme_factory, workload, matrices_per_network, indices
         )
@@ -278,7 +312,8 @@ class ExperimentEngine:
     ) -> Iterator[NetworkResult]:
         for index in indices:
             yield self._evaluate_network(
-                scheme_factory, workload, matrices_per_network, index
+                scheme_factory, workload.networks[index],
+                matrices_per_network, index,
             )
 
     def _stream_parallel(
@@ -317,15 +352,81 @@ class ExperimentEngine:
             with _FORK_STATE_LOCK:
                 _FORK_STATE.pop(token, None)
 
-    # ------------------------------------------------------------------
-    def _evaluate_network(
+    def _stream_spawn(
         self,
         scheme_factory: SchemeFactory,
         workload: ZooWorkload,
         matrices_per_network: Optional[int],
+        indices: List[int],
+        workers: int,
+    ) -> Iterator[NetworkResult]:
+        # Spawned workers share no memory with the parent, so each task
+        # carries everything it needs in picklable form: the spec, the
+        # item's network and matrices (plain data), and the KSP cache's
+        # materialized paths (its dump() payload, bounded like persisted
+        # cache files — the live Yen generators cannot cross the boundary,
+        # but they rebuild lazily on demand).  Tasks are submitted lazily,
+        # a bounded window at a time: serializing the whole workload into
+        # the executor up front would hold every network's matrices and
+        # cache dump in flight at once.
+        context = multiprocessing.get_context("spawn")
+        engine_kwargs = dict(
+            n_workers=1,
+            cache_dir=self.cache_dir,
+            cache_max_paths=self.cache_max_paths,
+        )
+
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+            def submit(index: int):
+                item = workload.networks[index]
+                matrices = item.matrices
+                if matrices_per_network is not None:
+                    matrices = matrices[:matrices_per_network]
+                return pool.submit(
+                    _spawned_evaluate,
+                    engine_kwargs,
+                    scheme_factory,
+                    item.network,
+                    item.llpd,
+                    matrices,
+                    item.cache.dump(max_paths_per_pair=self.cache_max_paths),
+                    matrices_per_network,
+                    index,
+                )
+
+            remaining = iter(indices)
+            pending = {
+                submit(index)
+                for index in itertools.islice(remaining, 2 * workers)
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index in itertools.islice(remaining, 1):
+                        pending.add(submit(index))
+                    yield future.result()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _evaluate_network(
+        self,
+        scheme_factory: SchemeFactory,
+        item: NetworkWorkload,
+        matrices_per_network: Optional[int],
         index: int,
     ) -> NetworkResult:
-        item = workload.networks[index]
+        """Evaluate one workload item, reporting it as network ``index``.
+
+        ``index`` is the item's position in the *full* workload — shard
+        workers (:mod:`repro.experiments.dispatch`) pass the original
+        global index with a locally reconstructed item, so ids and stored
+        streams line up across hosts.
+        """
         cache_path = self._cache_path(item)
         preloaded = 0
         if cache_path is not None:
@@ -402,4 +503,31 @@ class ExperimentEngine:
 def _forked_evaluate(token: int, index: int) -> NetworkResult:
     """Worker entry point: evaluate one network from the inherited state."""
     engine, factory, workload, matrices_per_network = _FORK_STATE[token]
-    return engine._evaluate_network(factory, workload, matrices_per_network, index)
+    return engine._evaluate_network(
+        factory, workload.networks[index], matrices_per_network, index
+    )
+
+
+def _spawned_evaluate(
+    engine_kwargs: dict,
+    factory: SchemeFactory,
+    network,
+    llpd: float,
+    matrices: list,
+    cache_payload: dict,
+    matrices_per_network: Optional[int],
+    index: int,
+) -> NetworkResult:
+    """Spawn-pool entry point: rebuild the item, evaluate, ship back."""
+    from repro.net.paths import KspCacheMismatchError
+
+    cache = None
+    try:
+        cache = KspCache.load(cache_payload, network)
+    except KspCacheMismatchError:
+        pass  # cold cache; correctness unaffected
+    item = NetworkWorkload(
+        network=network, llpd=llpd, matrices=matrices, cache=cache
+    )
+    engine = ExperimentEngine(**engine_kwargs)
+    return engine._evaluate_network(factory, item, matrices_per_network, index)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.metrics import ApaParameters, apa_all_pairs, apa_cdf, llpd
 from repro.experiments.runner import evaluate_scheme, per_network_quantiles
+from repro.experiments.spec import SchemeSpec
 from repro.experiments.workloads import (
     NetworkWorkload,
     ZooWorkload,
@@ -38,12 +39,7 @@ from repro.experiments.workloads import (
 )
 from repro.net.graph import Network
 from repro.net.paths import KspCache
-from repro.routing import (
-    B4Routing,
-    LatencyOptimalRouting,
-    MinMaxRouting,
-    ShortestPathRouting,
-)
+from repro.routing import LatencyOptimalRouting, MinMaxRouting
 from repro.tm import TrafficMatrix, scale_to_growth_headroom
 
 
@@ -69,17 +65,20 @@ def scheme_factories(
 ) -> Dict[str, Callable[[NetworkWorkload], object]]:
     """The paper's four active schemes, sharing each network's KSP cache.
 
+    Factories are declarative :class:`~repro.experiments.spec.SchemeSpec`
+    instances — callable like the closures they replaced, but picklable,
+    so every figure built on them can run on a ``spawn`` pool or be
+    dispatched to another host (:mod:`repro.experiments.dispatch`).
+
     LDR's placement engine is the latency-optimal LP with headroom; the
     full controller (prediction + multiplexing) lives in
     :mod:`repro.core.ldr` and is exercised separately.
     """
     return {
-        "B4": lambda item: B4Routing(headroom=headroom, cache=item.cache),
-        "LDR": lambda item: LatencyOptimalRouting(
-            headroom=headroom, cache=item.cache
-        ),
-        "MinMax": lambda item: MinMaxRouting(cache=item.cache),
-        "MinMaxK10": lambda item: MinMaxRouting(k=10, cache=item.cache),
+        "B4": SchemeSpec("B4", {"headroom": headroom}),
+        "LDR": SchemeSpec("LDR", {"headroom": headroom}),
+        "MinMax": SchemeSpec("MinMax"),
+        "MinMaxK10": SchemeSpec("MinMaxK10"),
     }
 
 
@@ -113,7 +112,7 @@ def fig03_sp_congestion(
     ``cache_max_paths``) pass through to :func:`evaluate_scheme`.
     """
     outcomes = evaluate_scheme(
-        lambda item: ShortestPathRouting(item.cache), workload,
+        SchemeSpec("SP"), workload,
         n_workers=n_workers,
         cache_dir=cache_dir,
         store_dir=store_dir,
@@ -233,9 +232,7 @@ def fig08_headroom_sweep(
     results: Dict[float, List[Tuple[float, float]]] = {}
     for headroom in headrooms:
         outcomes = evaluate_scheme(
-            lambda item, h=headroom: LatencyOptimalRouting(
-                headroom=h, cache=item.cache
-            ),
+            SchemeSpec("LDR", {"headroom": headroom}),
             workload,
             n_workers=n_workers,
             cache_dir=cache_dir,

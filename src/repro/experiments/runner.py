@@ -43,7 +43,11 @@ def evaluate_scheme(
     """Run a scheme across the whole workload.
 
     ``scheme_factory`` receives the per-network workload so schemes can
-    share its KSP cache; a fresh scheme per network keeps state clean.
+    share its KSP cache; a fresh scheme per network keeps state clean.  It
+    can be an ad-hoc closure or — preferably — a declarative
+    :class:`~repro.experiments.spec.SchemeSpec`, which additionally works
+    on ``spawn``-only platforms and under multi-host dispatch
+    (:mod:`repro.experiments.dispatch`).
 
     Evaluation is delegated to :class:`repro.experiments.engine.
     ExperimentEngine`: ``n_workers>1`` shards networks across a process

@@ -49,7 +49,7 @@ import os
 import re
 from dataclasses import asdict
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.experiments.runner import SchemeOutcome
 from repro.experiments.workloads import ZooWorkload
@@ -303,6 +303,82 @@ class ResultStore:
 
     def __init__(self, root: "os.PathLike[str] | str") -> None:
         self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Lifecycle tooling (the `store ls` / `store gc` CLI)
+    # ------------------------------------------------------------------
+    def list_streams(self) -> List[dict]:
+        """One record per stream: signature, scheme, result count, size.
+
+        Headerless or torn streams are reported with ``scheme=None`` and
+        whatever results parsed before the corruption — visibility for
+        ``store ls``, never an exception, since listing must work on the
+        messes ``store gc`` exists to clean up.
+        """
+        records: List[dict] = []
+        if not self.root.is_dir():
+            return records
+        for stream in sorted(self.root.glob("*/*.jsonl")):
+            try:
+                header, results, _ = _scan_stream(os.fspath(stream))
+            except OSError:
+                header, results = None, {}
+            stat = stream.stat()
+            records.append(
+                {
+                    "signature": stream.parent.name,
+                    "scheme": None if header is None else header.get("scheme"),
+                    "n_results": len(results),
+                    "n_networks": (
+                        None if header is None else header.get("n_networks")
+                    ),
+                    "bytes": stat.st_size,
+                    "mtime": stat.st_mtime,
+                    "path": os.fspath(stream),
+                }
+            )
+        return records
+
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        keep_signatures: Optional[set] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Prune whole workload-signature directories; returns removed dirs.
+
+        A directory in ``keep_signatures`` is never pruned — the
+        allow-list is absolute protection, including from the age bound.
+        Any other directory is removed when an allow-list is given at all,
+        or when it is older than ``max_age_s`` (age = newest mtime of any
+        file inside, so one live stream keeps its siblings).  With neither
+        criterion enabled this removes nothing — a no-op gc must be
+        explicit, not destructive.
+        """
+        import shutil
+        import time as _time
+
+        if max_age_s is None and keep_signatures is None:
+            return []
+        if now is None:
+            now = _time.time()
+        removed: List[str] = []
+        if not self.root.is_dir():
+            return removed
+        for directory in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            signature = directory.name
+            if keep_signatures is not None and signature in keep_signatures:
+                continue
+            prune = keep_signatures is not None
+            if not prune and max_age_s is not None:
+                mtimes = [f.stat().st_mtime for f in directory.glob("*")]
+                newest = max(mtimes, default=directory.stat().st_mtime)
+                if now - newest > max_age_s:
+                    prune = True
+            if prune:
+                shutil.rmtree(directory)
+                removed.append(os.fspath(directory))
+        return removed
 
     def stream_path(self, signature: str, scheme: str) -> Path:
         return self.root / signature / scheme_file_name(scheme)

@@ -1,0 +1,241 @@
+"""Tests for shard manifests, subprocess workers, and store merge."""
+
+import json
+
+import pytest
+
+from repro.experiments.dispatch import (
+    DispatchError,
+    dispatch_run,
+    load_manifest,
+    manifest_items,
+    merge_worker_store,
+    run_worker,
+    shard_indices,
+    write_shard_manifests,
+)
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.store import (
+    ResultStore,
+    StoreMismatchError,
+    workload_signature,
+)
+from repro.experiments.workloads import build_zoo_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_zoo_workload(
+        n_networks=4, n_matrices=1, seed=3, include_named=False
+    )
+
+
+class TestSharding:
+    def test_stripes_cover_every_index_once(self):
+        shards = shard_indices(7, 3)
+        assert sorted(i for shard in shards for i in shard) == list(range(7))
+        assert [len(s) for s in shards] == [3, 2, 2]
+
+    def test_more_shards_than_networks(self):
+        assert shard_indices(2, 5) == [[0], [1]]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_indices(4, 0)
+
+
+class TestManifests:
+    def test_manifest_round_trips_items(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        paths = write_shard_manifests(spec, workload, 2, tmp_path)
+        assert len(paths) == 2
+        seen = {}
+        for path in paths:
+            manifest = load_manifest(path)
+            assert manifest["signature"] == workload_signature(workload)
+            assert manifest["n_networks"] == len(workload.networks)
+            assert SchemeSpec.from_jsonable(manifest["spec"]) == spec
+            for index, item in manifest_items(manifest):
+                seen[index] = item
+        assert sorted(seen) == list(range(len(workload.networks)))
+        for index, item in seen.items():
+            original = workload.networks[index]
+            assert item.network.name == original.network.name
+            assert item.llpd == original.llpd  # floats survive JSON exactly
+            assert item.matrices == original.matrices
+
+    def test_manifest_respects_matrices_per_network(self, tmp_path):
+        workload = build_zoo_workload(
+            n_networks=2, n_matrices=3, seed=1, include_named=False
+        )
+        paths = write_shard_manifests(
+            SchemeSpec("SP"), workload, 1, tmp_path, matrices_per_network=1
+        )
+        manifest = load_manifest(paths[0])
+        assert all(len(e["matrices"]) == 1 for e in manifest["networks"])
+        assert manifest["signature"] == workload_signature(workload, 1)
+
+    def test_manifest_carries_shaping_params(self, workload, tmp_path):
+        path = write_shard_manifests(
+            SchemeSpec("SP"), workload, 1, tmp_path
+        )[0]
+        shaping = load_manifest(path)["shaping"]
+        assert shaping == {
+            "locality": workload.locality,
+            "growth_factor": workload.growth_factor,
+            "seed": workload.seed,
+        }
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-manifest.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DispatchError):
+            load_manifest(path)
+
+
+class TestWorkerAndMerge:
+    def test_workers_plus_merge_match_in_process(self, workload, tmp_path):
+        """The acceptance path: shard -> worker x2 -> merge -> compare."""
+        spec = SchemeSpec("SP")
+        manifests = write_shard_manifests(
+            spec, workload, 2, tmp_path / "manifests"
+        )
+        for i, manifest in enumerate(manifests):
+            run_worker(manifest, tmp_path / f"worker-{i}")
+        main_store = tmp_path / "main"
+        for i in range(len(manifests)):
+            merge_worker_store(main_store, tmp_path / f"worker-{i}")
+        served = ExperimentEngine(store_dir=main_store, store_only=True).run(
+            spec, workload, scheme="SP"
+        )
+        direct = ExperimentEngine(n_workers=1).run(spec, workload)
+        assert served.outcomes == direct.outcomes
+
+    def test_merge_is_idempotent(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        manifests = write_shard_manifests(
+            spec, workload, 2, tmp_path / "manifests"
+        )
+        for i, manifest in enumerate(manifests):
+            run_worker(manifest, tmp_path / f"worker-{i}")
+        main_store = tmp_path / "main"
+        first = merge_worker_store(main_store, tmp_path / "worker-0")
+        assert sum(first.values()) == 2
+        again = merge_worker_store(main_store, tmp_path / "worker-0")
+        assert sum(again.values()) == 0  # re-merging is a no-op
+        stream = next((tmp_path / "main").glob("*/*.jsonl"))
+        size_before = stream.stat().st_size
+        merge_worker_store(main_store, tmp_path / "worker-0")
+        assert stream.stat().st_size == size_before
+
+    def test_worker_resumes_stored_indices(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        manifest = write_shard_manifests(
+            spec, workload, 1, tmp_path / "manifests"
+        )[0]
+        first = run_worker(manifest, tmp_path / "store")
+        assert first["evaluated"] == len(workload.networks)
+        second = run_worker(manifest, tmp_path / "store")
+        assert second["evaluated"] == 0
+        assert second["skipped"] == len(workload.networks)
+
+    def test_merge_rejects_conflicting_network_ids(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        manifest = write_shard_manifests(
+            spec, workload, 1, tmp_path / "manifests"
+        )[0]
+        run_worker(manifest, tmp_path / "worker")
+        merge_worker_store(tmp_path / "main", tmp_path / "worker")
+        # Forge a worker store whose index 0 names a different network.
+        stream = next((tmp_path / "worker").glob("*/*.jsonl"))
+        lines = stream.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["network_id"] = "0:forged"
+        lines[1] = json.dumps(record, separators=(",", ":"))
+        stream.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreMismatchError):
+            merge_worker_store(tmp_path / "main", tmp_path / "worker")
+
+    def test_merge_missing_worker_dir_is_empty(self, tmp_path):
+        assert merge_worker_store(tmp_path / "main", tmp_path / "ghost") == {}
+
+
+class TestDispatchRun:
+    @pytest.mark.parametrize("scheme", ["SP", "MinMaxK10"])
+    def test_dispatched_equals_in_process(self, workload, tmp_path, scheme):
+        """Acceptance: 2 subprocess workers == serial in-process engine."""
+        spec = SchemeSpec(scheme)
+        outcomes = dispatch_run(
+            spec,
+            workload,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            work_dir=tmp_path / "work",
+            verify=True,  # raises DispatchError on any outcome difference
+        )
+        direct = ExperimentEngine(n_workers=1).run(spec, workload)
+        assert outcomes == direct.outcomes
+
+    def test_dispatch_populates_renderable_store(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        dispatch_run(spec, workload, n_shards=2, store_dir=tmp_path / "store")
+        # A store-only engine serves the dispatched results without
+        # constructing a single scheme.
+        served = ExperimentEngine(
+            store_dir=tmp_path / "store", store_only=True
+        ).run(spec, workload, scheme="SP")
+        assert len(served.outcomes) == len(workload.networks)
+
+    def test_no_resume_replaces_stale_store_results(self, workload, tmp_path):
+        spec = SchemeSpec("SP")
+        dispatch_run(spec, workload, n_shards=2, store_dir=tmp_path / "store")
+        # Corrupt one stored outcome in place: with resume (the default) a
+        # re-dispatch loses to it, with resume=False it is replaced.
+        stream = next((tmp_path / "store").glob("*/*.jsonl"))
+        lines = stream.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["outcomes"][0]["max_utilization"] = 123.0
+        lines[1] = json.dumps(record, separators=(",", ":"))
+        stream.write_text("\n".join(lines) + "\n")
+
+        kept = dispatch_run(
+            spec, workload, n_shards=2, store_dir=tmp_path / "store"
+        )
+        assert any(o.max_utilization == 123.0 for o in kept)
+        replaced = dispatch_run(
+            spec,
+            workload,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            resume=False,
+        )
+        assert not any(o.max_utilization == 123.0 for o in replaced)
+        direct = ExperimentEngine(n_workers=1).run(spec, workload)
+        assert replaced == direct.outcomes
+
+    def test_work_dir_keeps_manifests_and_worker_stores(
+        self, workload, tmp_path
+    ):
+        dispatch_run(
+            SchemeSpec("SP"),
+            workload,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            work_dir=tmp_path / "work",
+        )
+        assert len(list((tmp_path / "work" / "manifests").glob("*.json"))) == 2
+        assert (tmp_path / "work" / "worker-000").is_dir()
+
+    def test_failing_worker_surfaces_stderr(self, workload, tmp_path):
+        # A spec the registry cannot resolve serializes fine but makes the
+        # worker subprocess fail; the coordinator must report the failure
+        # (with the worker's stderr) instead of serving a partial store.
+        with pytest.raises(DispatchError, match="exited"):
+            dispatch_run(
+                SchemeSpec("NoSuchScheme"),
+                workload,
+                n_shards=1,
+                store_dir=tmp_path / "store",
+                work_dir=tmp_path / "work",
+            )

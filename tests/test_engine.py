@@ -137,12 +137,15 @@ class TestValidationAndFallback:
             ExperimentEngine(n_workers=0)
 
     def test_serial_fallback_without_fork(self, workload, monkeypatch):
+        # A plain-function factory is not spawn-safe (only SchemeSpecs
+        # are), so without fork the engine must warn and run serially.
         import multiprocessing
 
         monkeypatch.setattr(
             multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
-        report = ExperimentEngine(n_workers=4).run(sp_factory, workload)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            report = ExperimentEngine(n_workers=4).run(sp_factory, workload)
         assert report.outcomes == ExperimentEngine(n_workers=1).run(
             sp_factory, workload
         ).outcomes

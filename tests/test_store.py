@@ -343,3 +343,131 @@ class TestCli:
             ["render", "fig09", "--store-dir", str(tmp_path)]
         )
         assert code == 2
+
+
+class TestLifecycleTooling:
+    """`store ls` / `store gc`: stream listing and signature-dir pruning."""
+
+    def populate(self, store_dir, workload, schemes=("SP",)):
+        for scheme in schemes:
+            evaluate_scheme(
+                lambda item: ShortestPathRouting(item.cache),
+                workload,
+                store_dir=store_dir,
+                scheme=scheme,
+            )
+        return workload_signature(workload)
+
+    def test_list_streams_reports_counts(self, workload, tmp_path):
+        signature = self.populate(tmp_path, workload, schemes=("SP", "SP2"))
+        records = ResultStore(tmp_path).list_streams()
+        assert len(records) == 2
+        assert {r["scheme"] for r in records} == {"SP", "SP2"}
+        for record in records:
+            assert record["signature"] == signature
+            assert record["n_results"] == N_NETWORKS
+            assert record["n_networks"] == N_NETWORKS
+            assert record["bytes"] > 0
+
+    def test_list_streams_flags_headerless_files(self, workload, tmp_path):
+        self.populate(tmp_path, workload)
+        stream = next(tmp_path.glob("*/*.jsonl"))
+        stream.write_text("{not json\n")
+        record = ResultStore(tmp_path).list_streams()[0]
+        assert record["scheme"] is None
+        assert record["n_results"] == 0
+
+    def test_list_streams_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "nothing").list_streams() == []
+
+    def test_gc_without_criteria_removes_nothing(self, workload, tmp_path):
+        self.populate(tmp_path, workload)
+        assert ResultStore(tmp_path).gc() == []
+        assert list(tmp_path.glob("*/*.jsonl"))
+
+    def test_gc_by_age(self, workload, tmp_path):
+        import os
+        import time
+
+        signature = self.populate(tmp_path, workload)
+        store = ResultStore(tmp_path)
+        now = time.time()
+        # A young stream survives any positive age bound...
+        assert store.gc(max_age_s=3600.0, now=now) == []
+        # ...and an old one is pruned together with its directory.
+        for path in (tmp_path / signature).glob("*"):
+            os.utime(path, (now - 7200.0, now - 7200.0))
+        removed = store.gc(max_age_s=3600.0, now=now)
+        assert removed == [str(tmp_path / signature)]
+        assert not (tmp_path / signature).exists()
+
+    def test_gc_keep_protects_from_age_bound(self, workload, tmp_path):
+        import os
+        import time
+
+        signature = self.populate(tmp_path, workload)
+        now = time.time()
+        for path in (tmp_path / signature).glob("*"):
+            os.utime(path, (now - 7200.0, now - 7200.0))
+        # An explicitly kept signature survives even past the age bound:
+        # the allow-list is absolute protection, not one more filter.
+        removed = ResultStore(tmp_path).gc(
+            max_age_s=3600.0, keep_signatures={signature}, now=now
+        )
+        assert removed == []
+        assert (tmp_path / signature).is_dir()
+
+    def test_gc_keep_signatures(self, workload, tmp_path):
+        signature = self.populate(tmp_path, workload)
+        other = tmp_path / ("0" * 8)
+        other.mkdir()
+        (other / "SP.jsonl").write_text("{}\n")
+        store = ResultStore(tmp_path)
+        removed = store.gc(keep_signatures={signature})
+        assert removed == [str(other)]
+        assert (tmp_path / signature).is_dir()
+
+    def test_cli_ls_and_gc(self, workload, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        signature = self.populate(tmp_path, workload)
+        stale = tmp_path / "deadbeef"
+        stale.mkdir()
+        (stale / "SP.jsonl").write_text("{}\n")
+
+        assert main(["store", "ls", "--store-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert signature[:16] in out and "SP" in out
+
+        assert main(
+            ["store", "gc", "--store-dir", str(tmp_path),
+             "--keep", signature]
+        ) == 0
+        assert "pruned" in capsys.readouterr().out
+        assert not stale.exists()
+        assert (tmp_path / signature).is_dir()
+
+    def test_cli_gc_requires_a_criterion(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["store", "gc", "--store-dir", str(tmp_path)]) == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_cli_gc_match_workload(self, workload, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        # Populate the store through the CLI so the kept signature is the
+        # one --match-workload recomputes from the same arguments.
+        argv = ["fig03", "--networks", "3", "--tms", "1",
+                "--store-dir", str(tmp_path)]
+        assert main(argv) == 0
+        stale = tmp_path / "deadbeef"
+        stale.mkdir()
+        (stale / "SP.jsonl").write_text("{}\n")
+        assert main(
+            ["store", "gc", "--store-dir", str(tmp_path),
+             "--networks", "3", "--tms", "1", "--match-workload"]
+        ) == 0
+        capsys.readouterr()
+        assert not stale.exists()
+        assert list(tmp_path.glob("*/SP.jsonl"))
