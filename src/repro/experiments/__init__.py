@@ -3,18 +3,26 @@
 Shared by the benchmark suite (one bench per paper figure) and the example
 scripts.  :mod:`repro.experiments.workloads` builds (network, traffic
 matrix ensemble) pairs; :mod:`repro.experiments.runner` evaluates routing
-schemes over them; :mod:`repro.experiments.engine` shards that evaluation
-across a process pool with persistent KSP caches;
-:mod:`repro.experiments.spec` names schemes declaratively (picklable,
-registry-resolved) so evaluations can cross process and host boundaries;
-:mod:`repro.experiments.dispatch` shards a workload into self-contained
-manifests, runs them in worker subprocesses and merges their result
-stores; :mod:`repro.experiments.figures` computes each paper figure's
-series; :mod:`repro.experiments.render` prints them as text.
+schemes over them; :mod:`repro.experiments.plan` declares whole-figure
+evaluation grids (every scheme and sweep point) as flat batches;
+:mod:`repro.experiments.engine` executes plans on one shared process pool
+with persistent KSP caches; :mod:`repro.experiments.spec` names schemes
+declaratively (picklable, registry-resolved) so evaluations can cross
+process and host boundaries; :mod:`repro.experiments.dispatch` shards a
+plan into self-contained manifests, runs them in worker subprocesses and
+merges their result stores; :mod:`repro.experiments.figures` computes
+each paper figure's series; :mod:`repro.experiments.render` prints them
+as text.
 """
 
 from repro.experiments.workloads import ZooWorkload, build_zoo_workload
 from repro.experiments.runner import SchemeOutcome, evaluate_scheme
+from repro.experiments.plan import (
+    EvalPlan,
+    EvalTask,
+    PlanReport,
+    execute_plan,
+)
 from repro.experiments.engine import (
     EngineReport,
     ExperimentEngine,
@@ -27,6 +35,10 @@ __all__ = [
     "build_zoo_workload",
     "SchemeOutcome",
     "evaluate_scheme",
+    "EvalPlan",
+    "EvalTask",
+    "PlanReport",
+    "execute_plan",
     "EngineReport",
     "ExperimentEngine",
     "NetworkResult",

@@ -6,25 +6,35 @@ Usage::
     python -m repro.experiments fig03 --store-dir results/   # persist + resume
     python -m repro.experiments render fig03 --store-dir results/
     python -m repro.experiments dispatch SP --shards 2 --store-dir results/
+    python -m repro.experiments dispatch fig17 --shards 2 --store-dir results/
     python -m repro.experiments worker shard-000.json --store-dir worker0/
     python -m repro.experiments store ls --store-dir results/
     python -m repro.experiments store gc --store-dir results/ --max-age-days 30
     python -m repro.experiments list
 
+Every figure is one entry in the :data:`FIGURES` registry — a render
+function plus, for engine-backed figures, a plan builder — and the same
+registry drives plain runs, ``render`` (re-draw purely from the result
+store, zero scheme evaluations) and ``dispatch`` (shard a whole figure's
+evaluation plan across worker subprocesses).  Multi-call figures (4, 8,
+17, 18, 20) execute their full (scheme x sweep-point x network) grid as
+ONE engine pass over one shared process pool.
+
 With ``--store-dir``, every completed network's results are appended to a
 durable result store keyed by workload content hash, so a killed run
-restarted with the same arguments evaluates only the missing networks
-(``--resume``, the default; ``--no-resume`` discards the stored stream and
-recomputes).  The ``render`` subcommand re-draws a figure *purely* from the
-store — zero scheme evaluations — and fails if any result is missing.
+restarted with the same arguments evaluates only the missing tasks
+(``--resume``, the default; ``--no-resume`` discards the stored streams
+and recomputes).
 
-``dispatch`` shards the standard workload into self-contained JSON shard
-manifests, evaluates them in separate ``worker`` subprocesses (each
-appending to its own store), and merges the worker stores back into
-``--store-dir`` — the same cycle a multi-host run performs by copying
-manifests out and store directories back.  ``worker`` is that
-subprocess's entry point and runs anywhere the package is importable.
-``store ls`` / ``store gc`` list and prune the store's streams.
+``dispatch <scheme>`` shards the standard workload (one scheme) and
+``dispatch <figure>`` shards the figure's whole multi-scheme plan into
+self-contained JSON shard manifests, evaluates them in separate
+``worker`` subprocesses (each appending to its own store), and merges the
+worker stores back into ``--store-dir`` — the same cycle a multi-host run
+performs by copying manifests out and store directories back.  ``worker``
+is that subprocess's entry point and runs anywhere the package is
+importable.  ``store ls`` / ``store gc`` list and prune the store's
+streams.
 
 Benchmarks under ``benchmarks/`` do the same with timing and shape
 assertions; this entry point is the quick, dependency-free way to look at
@@ -35,11 +45,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 
-def build_workload(args, growth_factor: float = None):
+def build_workload(args, growth_factor: Optional[float] = None):
     from repro.experiments.workloads import build_zoo_workload
 
     if growth_factor is None:
@@ -58,7 +70,13 @@ def build_workload(args, growth_factor: float = None):
 
 
 def engine_options(args) -> dict:
-    """Engine/store keyword arguments shared by the store-backed figures."""
+    """Engine/store keyword arguments shared by the store-backed figures.
+
+    This is the single place the CLI's store/cache plumbing lives: the
+    registry driver applies it to every store-backed figure, so figure
+    runners never copy-paste ``n_workers``/``cache_dir``/``store_dir``
+    forwarding again.
+    """
     return dict(
         n_workers=args.workers,
         cache_dir=args.cache_dir,
@@ -69,7 +87,24 @@ def engine_options(args) -> dict:
     )
 
 
-def run_fig01(args) -> str:
+def _fig18_networks(args):
+    # The sweep generates its own matrices and ignores LLPD, so build the
+    # bare networks (same ensemble as build_workload) rather than paying
+    # for a full workload's matrices and APA analysis.
+    from repro.net.zoo import generate_zoo
+
+    return [
+        network
+        for network in generate_zoo(args.networks, seed=args.seed)
+        if network.num_nodes >= 2
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure runners: (args, engine_opts) -> rendered text.  Store-backed
+# runners receive engine_options(args); the rest an empty dict.
+# ----------------------------------------------------------------------
+def _fig01(args, opts) -> str:
     from repro.experiments.figures import fig01_apa_cdfs
     from repro.experiments.render import render_cdf
 
@@ -80,21 +115,21 @@ def run_fig01(args) -> str:
     )
 
 
-def run_fig03(args) -> str:
+def _fig03(args, opts) -> str:
     from repro.experiments.figures import fig03_sp_congestion
     from repro.experiments.render import render_series
 
-    result = fig03_sp_congestion(build_workload(args), **engine_options(args))
+    result = fig03_sp_congestion(build_workload(args), **opts)
     return render_series(
         "Fig 3: congested fraction vs LLPD (SP)", result, x_label="LLPD"
     )
 
 
-def run_fig04(args) -> str:
+def _fig04(args, opts) -> str:
     from repro.experiments.figures import fig04_schemes
     from repro.experiments.render import render_series
 
-    results = fig04_schemes(build_workload(args), **engine_options(args))
+    results = fig04_schemes(build_workload(args), **opts)
     series = {}
     for scheme, data in results.items():
         series[f"{scheme}:cong"] = data["congestion_median"]
@@ -102,7 +137,7 @@ def run_fig04(args) -> str:
     return render_series("Fig 4: schemes vs LLPD", series, x_label="LLPD")
 
 
-def run_fig07(args) -> str:
+def _fig07(args, opts) -> str:
     from repro.experiments.figures import fig07_utilization_cdf
     from repro.experiments.render import render_cdf
     from repro.experiments.workloads import build_traffic_matrices
@@ -118,12 +153,12 @@ def run_fig07(args) -> str:
     )
 
 
-def run_fig08(args) -> str:
+def _fig08(args, opts) -> str:
     from repro.experiments.figures import fig08_headroom_sweep
     from repro.experiments.render import render_series
 
     results = fig08_headroom_sweep(
-        build_workload(args, growth_factor=1.65), **engine_options(args)
+        build_workload(args, growth_factor=1.65), **opts
     )
     return render_series(
         "Fig 8: stretch vs LLPD per headroom",
@@ -132,7 +167,7 @@ def run_fig08(args) -> str:
     )
 
 
-def run_fig09(args) -> str:
+def _fig09(args, opts) -> str:
     from repro.experiments.figures import fig09_prediction_ratios
     from repro.experiments.render import render_cdf
     from repro.traces import trace_ensemble
@@ -144,7 +179,7 @@ def run_fig09(args) -> str:
     return render_cdf("Fig 9: measured/predicted", ratios)
 
 
-def run_fig10(args) -> str:
+def _fig10(args, opts) -> str:
     from repro.experiments.figures import fig10_sigma_scatter
     from repro.experiments.render import render_scatter_summary
     from repro.traces import trace_ensemble
@@ -156,35 +191,26 @@ def run_fig10(args) -> str:
     return render_scatter_summary("Fig 10: sigma(t) vs sigma(t+1)", points)
 
 
-def run_fig17(args) -> str:
+def _fig17(args, opts) -> str:
     from repro.experiments.figures import fig17_load_sweep
     from repro.experiments.render import render_series
 
     workload = build_workload(args)
-    results = fig17_load_sweep(workload.networks, **engine_options(args))
+    results = fig17_load_sweep(workload.networks, **opts)
     return render_series(
         "Fig 17: median max path stretch vs load", results, x_label="load"
     )
 
 
-def run_fig18(args) -> str:
+def _fig18(args, opts) -> str:
     from repro.experiments.figures import fig18_locality_sweep
     from repro.experiments.render import render_series
-    from repro.net.zoo import generate_zoo
 
-    # The sweep generates its own matrices and ignores LLPD, so build the
-    # bare networks (same ensemble as build_workload) rather than paying
-    # for a full workload's matrices and APA analysis.
-    networks = [
-        network
-        for network in generate_zoo(args.networks, seed=args.seed)
-        if network.num_nodes >= 2
-    ]
     results = fig18_locality_sweep(
-        networks,
+        _fig18_networks(args),
         n_matrices=args.tms,
         seed=args.seed,
-        **engine_options(args),
+        **opts,
     )
     return render_series(
         "Fig 18: median max path stretch vs locality",
@@ -193,12 +219,12 @@ def run_fig18(args) -> str:
     )
 
 
-def run_fig20(args) -> str:
+def _fig20(args, opts) -> str:
     from repro.experiments.figures import fig20_growth_benefit
     from repro.experiments.render import render_scatter_summary
 
     workload = build_workload(args)
-    results = fig20_growth_benefit(workload.networks, **engine_options(args))
+    results = fig20_growth_benefit(workload.networks, **opts)
     sections = []
     for scheme, data in results.items():
         sections.append(
@@ -208,6 +234,84 @@ def run_fig20(args) -> str:
             )
         )
     return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Figure plan builders: (args) -> EvalPlan, for `dispatch <figure>`
+# ----------------------------------------------------------------------
+def _fig03_plan(args):
+    from repro.experiments.figures import fig03_plan
+
+    return fig03_plan(build_workload(args))
+
+
+def _fig04_plan(args):
+    from repro.experiments.figures import fig04_plan
+
+    return fig04_plan(build_workload(args))
+
+
+def _fig08_plan(args):
+    from repro.experiments.figures import fig08_plan
+
+    return fig08_plan(build_workload(args, growth_factor=1.65))
+
+
+def _fig17_plan(args):
+    from repro.experiments.figures import fig17_plan
+
+    return fig17_plan(build_workload(args).networks)
+
+
+def _fig18_plan(args):
+    from repro.experiments.figures import fig18_plan
+
+    return fig18_plan(
+        _fig18_networks(args), n_matrices=args.tms, seed=args.seed
+    )
+
+
+def _fig20_plan(args):
+    from repro.experiments.figures import fig20_plan
+
+    return fig20_plan(build_workload(args).networks, cache_dir=args.cache_dir)
+
+
+@dataclass(frozen=True)
+class FigureDef:
+    """One registry entry: how to run, render and dispatch a figure.
+
+    ``render`` produces the figure's text output; ``store_backed``
+    figures additionally run through the engine (and hence the result
+    store), receiving :func:`engine_options` from the driver; ``plan``
+    (store-backed figures only) declares the figure's full evaluation
+    grid for ``dispatch <figure>``.
+    """
+
+    render: Callable[[argparse.Namespace, dict], str]
+    store_backed: bool = False
+    plan: Optional[Callable[[argparse.Namespace], object]] = None
+
+
+FIGURES: Dict[str, FigureDef] = {
+    "fig01": FigureDef(_fig01),
+    "fig03": FigureDef(_fig03, store_backed=True, plan=_fig03_plan),
+    "fig04": FigureDef(_fig04, store_backed=True, plan=_fig04_plan),
+    "fig07": FigureDef(_fig07),
+    "fig08": FigureDef(_fig08, store_backed=True, plan=_fig08_plan),
+    "fig09": FigureDef(_fig09),
+    "fig10": FigureDef(_fig10),
+    "fig17": FigureDef(_fig17, store_backed=True, plan=_fig17_plan),
+    "fig18": FigureDef(_fig18, store_backed=True, plan=_fig18_plan),
+    "fig20": FigureDef(_fig20, store_backed=True, plan=_fig20_plan),
+}
+
+
+def store_backed_figures() -> list:
+    """Figure ids whose evaluations go through the engine and store."""
+    return sorted(
+        name for name, figure in FIGURES.items() if figure.store_backed
+    )
 
 
 def run_worker_command(args) -> int:
@@ -237,22 +341,63 @@ def run_worker_command(args) -> int:
 
 
 def run_dispatch_command(args) -> int:
-    """`dispatch <scheme>`: shard, run subprocess workers, merge, serve."""
+    """`dispatch <scheme|figure>`: shard, run workers, merge, serve."""
     import json
 
-    from repro.experiments.dispatch import dispatch_run
     from repro.experiments.spec import SchemeSpec, registered_schemes
 
     if args.target is None:
         print(
-            f"dispatch needs a scheme name; registered: "
-            f"{', '.join(registered_schemes())}",
+            f"dispatch needs a scheme name or a figure id; registered "
+            f"schemes: {', '.join(registered_schemes())}; dispatchable "
+            f"figures: {', '.join(dispatchable_figures())}",
             file=sys.stderr,
         )
         return 2
     if args.store_dir is None:
         print("dispatch needs --store-dir", file=sys.stderr)
         return 2
+
+    figure = FIGURES.get(args.target)
+    if figure is not None and figure.plan is None:
+        # Fail fast: falling through would treat the figure id as a
+        # scheme name and only crash deep inside the shard workers.
+        print(
+            f"figure {args.target!r} is not dispatchable; choose one of "
+            f"{', '.join(dispatchable_figures())} or a scheme name",
+            file=sys.stderr,
+        )
+        return 2
+    if figure is not None:
+        if args.params:
+            print(
+                "--params applies only to scheme dispatch; figure plans "
+                "fix their own scheme parameters",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments.dispatch import dispatch_plan
+
+        plan = figure.plan(args)
+        dispatch_plan(
+            plan,
+            n_shards=args.shards,
+            store_dir=args.store_dir,
+            work_dir=args.work_dir,
+            cache_dir=args.cache_dir,
+            cache_max_paths=args.cache_max_paths,
+            resume=args.resume,
+        )
+        print(
+            f"dispatch: {args.shards} shard worker(s) evaluated the "
+            f"{args.target} plan ({len(plan.streams)} stream(s), "
+            f"{plan.n_tasks} task(s)); merged into {args.store_dir} — "
+            f"`render {args.target}` re-draws it from there"
+        )
+        return 0
+
+    from repro.experiments.dispatch import dispatch_run
+
     params = json.loads(args.params) if args.params else {}
     spec = SchemeSpec(args.target, params)
     workload = build_workload(args)
@@ -273,6 +418,13 @@ def run_dispatch_command(args) -> int:
         f"merged into {args.store_dir}"
     )
     return 0
+
+
+def dispatchable_figures() -> list:
+    """Figure ids `dispatch` can shard as whole plans."""
+    return sorted(
+        name for name, figure in FIGURES.items() if figure.plan is not None
+    )
 
 
 def run_store_command(args) -> int:
@@ -331,23 +483,6 @@ def run_store_command(args) -> int:
     return 0
 
 
-RUNNERS = {
-    "fig01": run_fig01,
-    "fig03": run_fig03,
-    "fig04": run_fig04,
-    "fig07": run_fig07,
-    "fig08": run_fig08,
-    "fig09": run_fig09,
-    "fig10": run_fig10,
-    "fig17": run_fig17,
-    "fig18": run_fig18,
-    "fig20": run_fig20,
-}
-
-#: Figures whose evaluations go through the engine and hence the store.
-STORE_BACKED = {"fig03", "fig04", "fig08", "fig17", "fig18", "fig20"}
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -363,8 +498,8 @@ def main(argv=None) -> int:
         "target",
         nargs="?",
         default=None,
-        help="figure id (render), scheme name (dispatch), manifest path "
-        "(worker), or action (store: ls|gc)",
+        help="figure id (render), scheme name or figure id (dispatch), "
+        "manifest path (worker), or action (store: ls|gc)",
     )
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
@@ -382,13 +517,15 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="shard networks across this many processes (results identical)",
+        help="shard evaluation tasks across this many processes (results "
+        "identical); multi-call figures run their whole grid on one pool",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="persist per-network KSP caches here; repeated and parallel "
-        "runs warm-start from disk",
+        help="persist per-network KSP caches (and fig20's grown "
+        "topologies) here; repeated and parallel runs warm-start from "
+        "disk",
     )
     parser.add_argument(
         "--cache-max-paths",
@@ -416,7 +553,7 @@ def main(argv=None) -> int:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="serve already-stored networks from --store-dir instead of "
-        "re-evaluating them (--no-resume discards the stored stream)",
+        "re-evaluating them (--no-resume discards the stored streams)",
     )
     parser.add_argument(
         "--shards",
@@ -476,9 +613,11 @@ def main(argv=None) -> int:
     if figure == "list":
         from repro.experiments.spec import registered_schemes
 
-        print("available:", ", ".join(sorted(RUNNERS)))
+        print("available:", ", ".join(sorted(FIGURES)))
         print("store-backed (resumable, renderable):",
-              ", ".join(sorted(STORE_BACKED)))
+              ", ".join(store_backed_figures()))
+        print("dispatchable (whole-plan shards):",
+              ", ".join(dispatchable_figures()))
         print("dispatchable schemes (dispatch/worker):",
               ", ".join(registered_schemes()))
         print("(figures 15/16/19 run via pytest benchmarks/ --benchmark-only)")
@@ -493,23 +632,22 @@ def main(argv=None) -> int:
             return 2
         figure = args.target
         args.store_only = True
-        if figure not in STORE_BACKED:
+        if figure not in FIGURES or not FIGURES[figure].store_backed:
             print(f"figure {figure!r} is not store-backed; choose one of "
-                  f"{', '.join(sorted(STORE_BACKED))}", file=sys.stderr)
+                  f"{', '.join(store_backed_figures())}", file=sys.stderr)
             return 2
     elif args.target is not None:
         print(f"unexpected extra argument {args.target!r}", file=sys.stderr)
         return 2
 
-    runner = RUNNERS.get(figure)
-    if runner is None:
+    figure_def = FIGURES.get(figure)
+    if figure_def is None:
         print(f"unknown figure {figure!r}; try 'list'", file=sys.stderr)
         return 2
 
-    from repro.experiments.store import StoreError
-
     try:
-        print(runner(args))
+        opts = engine_options(args) if figure_def.store_backed else {}
+        print(figure_def.render(args, opts))
     except StoreError as exc:
         print(f"result store: {exc}", file=sys.stderr)
         return 1

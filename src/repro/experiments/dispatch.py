@@ -1,19 +1,29 @@
 """Multi-host shard dispatch: manifests, workers, and store merge.
 
-The engine shards one workload across local processes; this module shards
+The engine shards one plan across local processes; this module shards
 it across *store directories*, which is what makes the boundary a host
 boundary: a shard manifest is a self-contained JSON file (networks,
-traffic matrices, scheme spec, shaping parameters, and the full-workload
-store signature), a worker is any interpreter anywhere running
+traffic matrices, scheme specs, and the store signatures of every
+stream), a worker is any interpreter anywhere running
 
     python -m repro.experiments worker <manifest> --store-dir <dir>
 
 and collection is a merge of the worker's result-store streams back into
 the main store.  N-host dispatch is therefore: copy N manifests to N
 hosts, run N workers, copy N store directories back, merge.  The local
-coordinator (:func:`dispatch_run`) does exactly that with subprocesses
-and temp directories, so the single-host path exercises the same
-manifest/worker/merge machinery a cluster run would.
+coordinators (:func:`dispatch_run` for one scheme, :func:`dispatch_plan`
+for a whole multi-scheme evaluation plan) do exactly that with
+subprocesses and temp directories, so the single-host path exercises the
+same manifest/worker/merge machinery a cluster run would.
+
+Manifests come in two versions: version 1 carries one scheme over one
+workload (the classic ``dispatch <scheme>`` cycle), version 2 carries an
+entire :class:`~repro.experiments.plan.EvalPlan` shard — a stream table
+(spec + signature per stream) plus a flat task list drawn round-robin
+from *all* streams, so every worker gets a balanced mix of schemes and
+sweep points rather than one scheme's heaviest networks.  The merge is
+version-blind either way: worker stores are just (signature, scheme)
+streams, deduplicated by network index.
 
 Determinism
 -----------
@@ -46,7 +56,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.engine import ExperimentEngine, NetworkResult
-from repro.experiments.spec import SchemeSpec
+from repro.experiments.plan import EvalPlan, EvalTask, PlanReport
+from repro.experiments.spec import SchemeSpec, is_spawn_safe
 from repro.experiments.store import (
     ResultStore,
     StoreError,
@@ -61,6 +72,8 @@ from repro.tm.matrix import to_json as tm_to_json
 
 MANIFEST_FORMAT = "repro-shard-manifest"
 MANIFEST_VERSION = 1
+#: Version tag of whole-plan shard manifests (stream table + task list).
+PLAN_MANIFEST_VERSION = 2
 
 
 class DispatchError(StoreError):
@@ -167,17 +180,143 @@ def write_shard_manifests(
 
 
 def load_manifest(path: "os.PathLike[str] | str") -> dict:
-    """Read and validate a shard manifest file."""
+    """Read and validate a shard manifest file (either version)."""
     with open(path) as handle:
         manifest = json.load(handle)
     if manifest.get("format") != MANIFEST_FORMAT:
         raise DispatchError(f"{path}: not a {MANIFEST_FORMAT} document")
-    if manifest.get("version") != MANIFEST_VERSION:
+    if manifest.get("version") not in (MANIFEST_VERSION, PLAN_MANIFEST_VERSION):
         raise DispatchError(
             f"{path}: unsupported manifest version "
             f"{manifest.get('version')!r}"
         )
     return manifest
+
+
+# ----------------------------------------------------------------------
+# Plan manifests (version 2)
+# ----------------------------------------------------------------------
+def build_plan_manifest(
+    plan: EvalPlan,
+    tasks: Sequence[EvalTask],
+    shard_index: int,
+    n_shards: int,
+) -> dict:
+    """The self-contained JSON payload for one shard of a whole plan.
+
+    The manifest carries a stream table (spec, store signature, scheme
+    stream name, workload size per stream) and a flat task list; each
+    task references its stream by table position and its workload item
+    by position in a deduplicated item table — two streams evaluating
+    the same network (the common case: every scheme of a figure runs
+    over the same workload) serialize that network once per manifest,
+    not once per task.
+    """
+    stream_ids: Dict[object, int] = {}
+    streams = []
+    for key, stream in plan.streams.items():
+        if not is_spawn_safe(stream.factory):
+            raise DispatchError(
+                f"plan stream {key!r} uses a non-SchemeSpec factory; "
+                f"only registry specs can cross a host boundary"
+            )
+        stream_ids[key] = len(streams)
+        streams.append(
+            {
+                "scheme": stream.scheme,
+                "spec": stream.factory.to_jsonable(),
+                "signature": workload_signature(
+                    stream.workload, stream.matrices_per_network
+                ),
+                "n_networks": stream.n_networks,
+                "matrices_per_network": stream.matrices_per_network,
+            }
+        )
+    items: List[dict] = []
+    item_ids: Dict[tuple, int] = {}
+    task_entries = []
+    for task in tasks:
+        stream = plan.streams[task.stream]
+        item = stream.workload.networks[task.index]
+        ident = (
+            id(stream.workload), task.index, stream.matrices_per_network
+        )
+        item_id = item_ids.get(ident)
+        if item_id is None:
+            matrices = item.matrices
+            if stream.matrices_per_network is not None:
+                matrices = matrices[: stream.matrices_per_network]
+            item_id = len(items)
+            item_ids[ident] = item_id
+            items.append(
+                {
+                    "llpd": item.llpd,
+                    "network": json.loads(network_to_json(item.network)),
+                    "matrices": [
+                        json.loads(tm_to_json(tm)) for tm in matrices
+                    ],
+                }
+            )
+        task_entries.append(
+            {
+                "stream": stream_ids[task.stream],
+                "index": task.index,
+                "item": item_id,
+            }
+        )
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": PLAN_MANIFEST_VERSION,
+        "shard_index": shard_index,
+        "n_shards": n_shards,
+        "streams": streams,
+        "items": items,
+        "tasks": task_entries,
+    }
+
+
+def write_plan_manifests(
+    plan: EvalPlan,
+    n_shards: int,
+    out_dir: "os.PathLike[str] | str",
+) -> List[Path]:
+    """Split a whole plan into shard manifest files under ``out_dir``.
+
+    Tasks are drawn from :meth:`EvalPlan.tasks` (round-robin interleaved
+    across streams) and split into contiguous, equal-size chunks of that
+    interleaved order, so every worker receives a balanced mix of *all*
+    schemes and sweep points.  (Stride striping would resonate with the
+    stream count — with 4 schemes and 2 shards, every other task is the
+    same two schemes — whereas a contiguous chunk of a round-robin list
+    cycles through every stream.)  Every stream's signature is the full
+    workload's, so all shards append into the same mergeable store keys
+    the in-process plan run would use.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    tasks = plan.tasks()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    n_effective = min(n_shards, max(len(tasks), 1))
+    base, extra = divmod(len(tasks), n_effective)
+    shards = []
+    position = 0
+    for shard in range(n_effective):
+        size = base + (1 if shard < extra else 0)
+        shards.append(tasks[position:position + size])
+        position += size
+    for shard_index, shard_tasks in enumerate(shards):
+        manifest = build_plan_manifest(
+            plan,
+            shard_tasks,
+            shard_index=shard_index,
+            n_shards=len(shards),
+        )
+        path = out / f"shard-{shard_index:03d}.json"
+        path.write_text(json.dumps(manifest, indent=2))
+        paths.append(path)
+    return paths
 
 
 # ----------------------------------------------------------------------
@@ -209,12 +348,21 @@ def run_worker(
 ) -> dict:
     """Evaluate one shard and append its results to ``store_dir``.
 
-    The worker's store stream carries the manifest's full-workload
-    signature, so several workers' stores merge into one key.  Already-
-    stored indices are skipped (a re-run worker resumes like the engine
-    does).  Returns a summary dict for logging.
+    The worker's store streams carry the manifest's full-workload
+    signatures, so several workers' stores merge into one key set.
+    Already-stored indices are skipped (a re-run worker resumes like the
+    engine does).  Handles both single-scheme (version 1) and whole-plan
+    (version 2) manifests.  Returns a summary dict for logging.
     """
     manifest = load_manifest(manifest_path)
+    if manifest["version"] == PLAN_MANIFEST_VERSION:
+        return _run_plan_worker(
+            manifest,
+            store_dir,
+            cache_dir=cache_dir,
+            cache_max_paths=cache_max_paths,
+            resume=resume,
+        )
     spec = SchemeSpec.from_jsonable(manifest["spec"])
     scheme = manifest["scheme"]
     signature = manifest["signature"]
@@ -246,6 +394,83 @@ def run_worker(
         "evaluated": evaluated,
         "skipped": skipped,
         "stream": os.fspath(store.stream_path(signature, scheme)),
+    }
+
+
+def _run_plan_worker(
+    manifest: dict,
+    store_dir: "os.PathLike[str] | str",
+    cache_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_max_paths: Optional[int] = None,
+    resume: bool = True,
+) -> dict:
+    """Evaluate one whole-plan shard (version 2 manifest).
+
+    One store stream per plan stream; each task resolves its spec
+    through the registry, rebuilds its workload item from the shared
+    item table, and evaluates under its *original* global index — so the
+    worker's records are bit-identical to the in-process engine's and
+    merge conflict-free by (signature, scheme, index).
+    """
+    from repro.experiments.store import MultiStreamWriter
+
+    engine = ExperimentEngine(
+        n_workers=1, cache_dir=cache_dir, cache_max_paths=cache_max_paths
+    )
+    store = ResultStore(store_dir)
+    writer = MultiStreamWriter(store, resume=resume)
+    specs = [
+        SchemeSpec.from_jsonable(stream["spec"])
+        for stream in manifest["streams"]
+    ]
+    rebuilt_items: Dict[int, NetworkWorkload] = {}
+    evaluated = skipped = 0
+    try:
+        stored = [
+            writer.open(
+                sid,
+                stream["signature"],
+                stream["scheme"],
+                n_networks=stream["n_networks"],
+            )
+            for sid, stream in enumerate(manifest["streams"])
+        ]
+        for task in manifest["tasks"]:
+            sid = task["stream"]
+            if task["index"] in stored[sid]:
+                skipped += 1
+                continue
+            item = rebuilt_items.get(task["item"])
+            if item is None:
+                entry = manifest["items"][task["item"]]
+                item = NetworkWorkload(
+                    network=network_from_json(json.dumps(entry["network"])),
+                    llpd=entry["llpd"],
+                    matrices=[
+                        tm_from_json(json.dumps(tm))
+                        for tm in entry["matrices"]
+                    ],
+                )
+                rebuilt_items[task["item"]] = item
+            result = engine._evaluate_network(
+                specs[sid],
+                item,
+                manifest["streams"][sid]["matrices_per_network"],
+                task["index"],
+            )
+            writer.append(sid, result)
+            evaluated += 1
+    finally:
+        writer.close()
+    schemes = sorted({stream["scheme"] for stream in manifest["streams"]})
+    return {
+        "shard_index": manifest["shard_index"],
+        "n_shards": manifest["n_shards"],
+        "scheme": "+".join(schemes),
+        "signature": "<plan>",
+        "evaluated": evaluated,
+        "skipped": skipped,
+        "stream": os.fspath(store.root),
     }
 
 
@@ -349,6 +574,55 @@ def _worker_env() -> dict:
     return env
 
 
+def _run_shard_workers(
+    manifests: Sequence[Path],
+    work: Path,
+    cache_dir: Optional["os.PathLike[str] | str"],
+    cache_max_paths: Optional[int],
+) -> List[Path]:
+    """Launch one worker subprocess per manifest; return worker stores.
+
+    Every worker gets its own store directory under ``work``.  All
+    workers run concurrently; any non-zero exit raises
+    :class:`DispatchError` carrying each failure's stderr tail.
+    """
+    env = _worker_env()
+    procs = []
+    for shard_index, manifest in enumerate(manifests):
+        worker_store = work / f"worker-{shard_index:03d}"
+        procs.append(
+            (
+                manifest,
+                worker_store,
+                subprocess.Popen(
+                    _worker_command(
+                        manifest,
+                        worker_store,
+                        Path(cache_dir) if cache_dir else None,
+                        cache_max_paths,
+                    ),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    env=env,
+                    text=True,
+                ),
+            )
+        )
+    failures = []
+    for manifest, _, proc in procs:
+        _, stderr = proc.communicate()
+        if proc.returncode != 0:
+            failures.append(
+                f"{manifest.name} exited {proc.returncode}: "
+                f"{stderr.strip()[-2000:]}"
+            )
+    if failures:
+        raise DispatchError(
+            "shard worker(s) failed:\n" + "\n".join(failures)
+        )
+    return [worker_store for _, worker_store, _ in procs]
+
+
 def dispatch_run(
     spec: SchemeSpec,
     workload: ZooWorkload,
@@ -397,40 +671,9 @@ def dispatch_run(
             scheme=scheme,
             matrices_per_network=matrices_per_network,
         )
-        env = _worker_env()
-        procs = []
-        for shard_index, manifest in enumerate(manifests):
-            worker_store = work / f"worker-{shard_index:03d}"
-            procs.append(
-                (
-                    manifest,
-                    worker_store,
-                    subprocess.Popen(
-                        _worker_command(
-                            manifest,
-                            worker_store,
-                            Path(cache_dir) if cache_dir else None,
-                            cache_max_paths,
-                        ),
-                        stdout=subprocess.PIPE,
-                        stderr=subprocess.PIPE,
-                        env=env,
-                        text=True,
-                    ),
-                )
-            )
-        failures = []
-        for manifest, _, proc in procs:
-            _, stderr = proc.communicate()
-            if proc.returncode != 0:
-                failures.append(
-                    f"{manifest.name} exited {proc.returncode}: "
-                    f"{stderr.strip()[-2000:]}"
-                )
-        if failures:
-            raise DispatchError(
-                "shard worker(s) failed:\n" + "\n".join(failures)
-            )
+        worker_stores = _run_shard_workers(
+            manifests, work, cache_dir, cache_max_paths
+        )
         if not resume:
             # Reset the main stream so merged records replace, not lose
             # to, stale ones the store already held for this key.
@@ -440,7 +683,7 @@ def dispatch_run(
                 n_networks=len(workload.networks),
                 resume=False,
             ).close()
-        for _, worker_store, _ in procs:
+        for worker_store in worker_stores:
             merge_worker_store(store_dir, worker_store)
     finally:
         if own_work_dir is not None:
@@ -460,3 +703,70 @@ def dispatch_run(
                 f"for scheme {scheme!r}"
             )
     return outcomes
+
+
+def dispatch_plan(
+    plan: EvalPlan,
+    n_shards: int,
+    store_dir: "os.PathLike[str] | str",
+    work_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_dir: Optional["os.PathLike[str] | str"] = None,
+    cache_max_paths: Optional[int] = None,
+    resume: bool = True,
+    verify: bool = False,
+) -> PlanReport:
+    """Shard a whole evaluation plan across worker subprocesses and merge.
+
+    The multi-scheme analogue of :func:`dispatch_run`: the plan's flat
+    task list — every (scheme, sweep point, network) cell of a figure —
+    is striped round-robin across ``n_shards`` manifests, so each worker
+    evaluates a balanced mix of *all* streams.  Worker stores merge back
+    into ``store_dir`` with the usual idempotent, conflict-checked
+    (signature, scheme, index) dedup, and the merged store then serves
+    the full :class:`~repro.experiments.plan.PlanReport` — equal to what
+    an in-process :func:`~repro.experiments.plan.execute_plan` run
+    returns (``verify=True`` asserts exactly that).
+
+    ``resume=False`` resets every stream of the plan in the main store
+    before merging, and only after every worker succeeded — a failed
+    dispatch never destroys existing results.
+    """
+    own_work_dir = None
+    if work_dir is None:
+        own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")
+        work_dir = own_work_dir.name
+    work = Path(work_dir)
+    try:
+        manifests = write_plan_manifests(plan, n_shards, work / "manifests")
+        worker_stores = _run_shard_workers(
+            manifests, work, cache_dir, cache_max_paths
+        )
+        if not resume:
+            store = ResultStore(store_dir)
+            for stream in plan.streams.values():
+                store.open_writer(
+                    workload_signature(
+                        stream.workload, stream.matrices_per_network
+                    ),
+                    stream.scheme,
+                    n_networks=stream.n_networks,
+                    resume=False,
+                ).close()
+        for worker_store in worker_stores:
+            merge_worker_store(store_dir, worker_store)
+    finally:
+        if own_work_dir is not None:
+            own_work_dir.cleanup()
+
+    report = ExperimentEngine(store_dir=store_dir, store_only=True).run_plan(
+        plan
+    )
+    if verify:
+        direct = ExperimentEngine(n_workers=1).run_plan(plan)
+        for key in plan.streams:
+            if report.outcomes(key) != direct.outcomes(key):
+                raise DispatchError(
+                    "dispatched outcomes differ from the in-process "
+                    f"engine's for plan stream {key!r}"
+                )
+    return report

@@ -1,4 +1,4 @@
-"""Parallel experiment engine: shard networks across a process pool.
+"""Parallel experiment engine: one shared pool for whole evaluation plans.
 
 The paper evaluates 116 networks x 100 traffic matrices; this repo's
 runner historically walked that grid strictly serially and rebuilt every
@@ -10,31 +10,41 @@ and can be fanned out across processes, and the k-shortest-paths results
 ("the bottleneck is not the linear optimizer", paper §5) can be persisted
 between runs via :meth:`KspCache.dump` / :meth:`KspCache.load`.
 
+The unit of execution is an :class:`~repro.experiments.plan.EvalPlan`: a
+flat batch of (stream, network-index) tasks spanning every scheme and
+sweep point of a figure.  :meth:`ExperimentEngine.run_plan` executes an
+entire plan on **one** process pool, interleaving tasks from different
+streams; the classic single-scheme entry points (:meth:`run`,
+:meth:`stream`) are one-stream plans, so both paths share one execution
+spine and one determinism contract.
+
 Sharding/determinism contract
 -----------------------------
 
-* The unit of work is one network (one ``NetworkWorkload``): all of its
-  traffic matrices are evaluated in order inside a single process, against
-  a single KSP cache.  Nothing is shared *across* networks, so the result
-  for network ``i`` is a pure function of ``workload.networks[i]`` and the
-  scheme factory.
-* Consequently ``run()`` returns **bit-identical** outcome lists for any
-  ``n_workers``: results are streamed back per network (in completion
-  order, exposed by :meth:`ExperimentEngine.stream`) and re-assembled into
-  workload order before they are returned.
-* Worker processes prefer the ``fork`` start method so that the scheme
-  factory (possibly a closure) and the workload never need to be pickled;
-  only network indices travel to the workers and only
-  :class:`SchemeOutcome` lists travel back.  Where ``fork`` is unavailable
-  (Windows, macOS spawn-default interpreters) and the factory is a
-  picklable :class:`~repro.experiments.spec.SchemeSpec`, the engine falls
-  back to a ``spawn`` pool: each task ships the spec plus the item's
-  serialized network/matrices/KSP-paths and produces the same outcomes
-  (warm-cache state affects only timing, never results).  Only when
-  neither start method can run the factory does the engine degrade to the
-  deterministic serial path — same results, no parallelism — and it warns
-  (:class:`RuntimeWarning`) when doing so, since silently losing
-  parallelism is a performance bug waiting to be misread.
+* The unit of work is one task — one network (one ``NetworkWorkload``)
+  of one stream: all of its traffic matrices are evaluated in order
+  inside a single process, against a single KSP cache.  Nothing is
+  shared *across* tasks, so each task's result is a pure function of its
+  workload item and scheme factory.  (Warm KSP-cache state affects only
+  timing, never results.)
+* Consequently plan execution returns **bit-identical** outcome lists
+  for any ``n_workers`` — and bit-identical to running each stream
+  through a separate ``evaluate_scheme`` call, which is why the figure
+  layer could move from per-(scheme, sweep-point) calls to whole-figure
+  plans without changing a single output.
+* Worker processes prefer the ``fork`` start method so that scheme
+  factories (possibly closures) and workloads never need to be pickled;
+  only (stream key, network index) tasks travel to the workers and only
+  :class:`NetworkResult` values travel back.  Where ``fork`` is
+  unavailable (Windows, macOS spawn-default interpreters) and every
+  factory is a picklable :class:`~repro.experiments.spec.SchemeSpec`,
+  the engine falls back to a single ``spawn`` pool: each task ships its
+  spec plus the item's serialized network/matrices/KSP-paths and
+  produces the same outcomes.  Only when neither start method can run
+  the plan does the engine degrade to the deterministic serial path —
+  same results, no parallelism — and it warns (:class:`RuntimeWarning`)
+  when doing so, since silently losing parallelism is a performance bug
+  waiting to be misread.
 * With a ``cache_dir``, each worker warms its network's KSP cache from
   ``ksp-<network_signature>.json`` when a valid file exists and dumps the
   (possibly extended) cache back after evaluating.  Files are keyed by a
@@ -42,14 +52,16 @@ Sharding/determinism contract
   trusted, and writes are atomic (write-to-temp + rename) so concurrent
   shards never observe torn files.
 * With a ``store_dir``, completed per-network results are additionally
-  appended to a :class:`~repro.experiments.store.ResultStore` stream keyed
-  by (workload signature, scheme name), and networks whose results are
-  already stored are **skipped** — an interrupted run restarted against
-  the same store evaluates only the missing networks, and a fully-stored
-  run constructs no scheme at all.  Because each stored result is the pure
-  per-network function's output round-tripped through JSON (floats are
-  exact), the bit-identical-for-any-worker-count contract extends to
-  stored results.
+  appended to the plan's result-store streams — one
+  :class:`~repro.experiments.store.ResultStore` stream per (workload
+  signature, scheme name), via the batched
+  :class:`~repro.experiments.store.MultiStreamWriter` — and networks
+  whose results are already stored are **skipped**: an interrupted plan
+  restarted against the same store evaluates only the missing tasks of
+  each stream, and a fully-stored plan constructs no scheme at all.
+  Because each stored result is the pure per-network function's output
+  round-tripped through JSON (floats are exact), the
+  bit-identical-for-any-worker-count contract extends to stored results.
 """
 
 from __future__ import annotations
@@ -62,10 +74,11 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import multiprocessing
 
+from repro.experiments.plan import EvalPlan, EvalTask, PlanReport
 from repro.experiments.runner import SchemeOutcome
 from repro.experiments.workloads import NetworkWorkload, ZooWorkload
 from repro.net.paths import KspCache, ksp_cache_path
@@ -75,7 +88,7 @@ SchemeFactory = Callable[[NetworkWorkload], RoutingScheme]
 
 #: Worker-side state inherited through ``fork``, keyed by a per-run token
 #: so concurrently advanced streams (different engines, different threads)
-#: never clobber each other; see :meth:`_stream_parallel`.
+#: never clobber each other; see :meth:`_stream_plan_parallel`.
 _FORK_STATE: Dict[int, Tuple] = {}
 _FORK_STATE_LOCK = threading.Lock()
 _FORK_TOKENS = itertools.count()
@@ -108,7 +121,7 @@ class NetworkResult:
 
 @dataclass
 class EngineReport:
-    """Result of one engine run, in workload order."""
+    """Result of one single-scheme engine run, in workload order."""
 
     results: List[NetworkResult] = field(default_factory=list)
 
@@ -128,16 +141,17 @@ class EngineReport:
 
 
 class ExperimentEngine:
-    """Evaluates a routing scheme over a :class:`ZooWorkload`, sharded.
+    """Executes evaluation plans (and single schemes) over shared pools.
 
     ``n_workers=1`` runs in-process (deterministic serial fallback);
-    ``n_workers>1`` shards networks across a ``fork``-based process pool.
-    ``cache_dir`` enables persistent KSP caches keyed by network content
-    hash; ``cache_max_paths`` bounds how many paths per pair those cache
-    files keep.  ``store_dir`` enables the durable result store: stored
-    networks are served without evaluation (unless ``resume`` is false,
-    which discards the existing stream first), and ``store_only`` forbids
-    evaluation altogether — missing results raise
+    ``n_workers>1`` shards tasks across one ``fork``- or ``spawn``-based
+    process pool for the entire plan.  ``cache_dir`` enables persistent
+    KSP caches keyed by network content hash; ``cache_max_paths`` bounds
+    how many paths per pair those cache files keep.  ``store_dir``
+    enables the durable result store: stored networks are served without
+    evaluation (unless ``resume`` is false, which discards the existing
+    streams first), and ``store_only`` forbids evaluation altogether —
+    missing results raise
     :class:`~repro.experiments.store.StoreMissError` instead of being
     computed.  See the module docstring for the full contract.
     """
@@ -162,6 +176,8 @@ class ExperimentEngine:
         self.store_only = store_only
         self.cache_max_paths = cache_max_paths
 
+    # ------------------------------------------------------------------
+    # Single-scheme entry points (one-stream plans)
     # ------------------------------------------------------------------
     def run(
         self,
@@ -194,98 +210,126 @@ class ExperimentEngine:
         """
         if not workload.networks:
             return iter(())
-        if self.store_dir is not None:
-            return self._stream_stored(
-                scheme_factory, workload, matrices_per_network, scheme
-            )
-        return self._stream_fresh(
+        if self.store_dir is not None and not scheme:
+            raise ValueError("store-backed runs need a scheme name")
+        plan = EvalPlan()
+        plan.add(
+            scheme or "run",
             scheme_factory,
             workload,
-            matrices_per_network,
-            list(range(len(workload.networks))),
+            scheme=scheme,
+            matrices_per_network=matrices_per_network,
         )
+        return (result for _, result in self.stream_plan(plan))
 
     # ------------------------------------------------------------------
-    def _stream_stored(
-        self,
-        scheme_factory: SchemeFactory,
-        workload: ZooWorkload,
-        matrices_per_network: Optional[int],
-        scheme: Optional[str],
-    ) -> Iterator[NetworkResult]:
+    # Plan entry points
+    # ------------------------------------------------------------------
+    def run_plan(self, plan: EvalPlan) -> PlanReport:
+        """Execute a whole plan; per-stream results in workload order."""
+        collected: Dict[Hashable, Dict[int, NetworkResult]] = {
+            key: {} for key in plan.streams
+        }
+        for key, result in self.stream_plan(plan):
+            collected[key][result.index] = result
+        return PlanReport(
+            results={
+                key: [collected[key][i] for i in sorted(collected[key])]
+                for key in plan.streams
+            }
+        )
+
+    def stream_plan(
+        self, plan: EvalPlan
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
+        """Yield ``(stream key, result)`` pairs as tasks complete.
+
+        Store-backed runs yield each stream's stored results first (in
+        index order, stream by stream), then freshly evaluated tasks in
+        completion order.  The whole plan runs on one process pool.
+        """
+        if not plan.streams:
+            return iter(())
+        if self.store_dir is not None:
+            return self._stream_plan_stored(plan)
+        return self._stream_plan_fresh(plan, plan.tasks())
+
+    # ------------------------------------------------------------------
+    def _stream_plan_stored(
+        self, plan: EvalPlan
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         """Serve stored results, evaluate (and append) only the rest."""
         from repro.experiments.store import (
+            MultiStreamWriter,
             ResultStore,
             StoreMissError,
             workload_signature,
         )
 
-        if not scheme:
-            raise ValueError("store-backed runs need a scheme name")
         store = ResultStore(self.store_dir)
-        signature = workload_signature(workload, matrices_per_network)
-        total = len(workload.networks)
+        signatures = {
+            key: workload_signature(
+                stream.workload, stream.matrices_per_network
+            )
+            for key, stream in plan.streams.items()
+        }
 
         if self.store_only:
-            stored = store.load_results(signature, scheme)
-            missing = [i for i in range(total) if i not in stored]
-            if missing:
-                raise StoreMissError(
-                    f"store {store.stream_path(signature, scheme)} holds "
-                    f"{total - len(missing)}/{total} networks; missing "
-                    f"indices {missing[:8]}{'...' if len(missing) > 8 else ''}"
-                )
-            for index in range(total):
-                yield stored[index]
+            for key, stream in plan.streams.items():
+                stored = store.load_results(signatures[key], stream.scheme)
+                total = stream.n_networks
+                missing = [i for i in range(total) if i not in stored]
+                if missing:
+                    raise StoreMissError(
+                        f"store "
+                        f"{store.stream_path(signatures[key], stream.scheme)} "
+                        f"holds {total - len(missing)}/{total} networks; "
+                        f"missing indices {missing[:8]}"
+                        f"{'...' if len(missing) > 8 else ''}"
+                    )
+                for index in range(total):
+                    yield key, stored[index]
             return
 
-        writer = store.open_writer(
-            signature, scheme, n_networks=total, resume=self.resume
-        )
+        writer = MultiStreamWriter(store, resume=self.resume)
         try:
-            stored = {
-                index: result
-                for index, result in writer.stored.items()
-                if 0 <= index < total
-            }
-            for index in sorted(stored):
-                yield stored[index]
-            missing = [i for i in range(total) if i not in stored]
-            for result in self._stream_fresh(
-                scheme_factory, workload, matrices_per_network, missing
+            missing: Dict[Hashable, List[int]] = {}
+            for key, stream in plan.streams.items():
+                total = stream.n_networks
+                stored = writer.open(
+                    key, signatures[key], stream.scheme, n_networks=total
+                )
+                valid = {
+                    index: result
+                    for index, result in stored.items()
+                    if 0 <= index < total
+                }
+                for index in sorted(valid):
+                    yield key, valid[index]
+                missing[key] = [i for i in range(total) if i not in valid]
+            for key, result in self._stream_plan_fresh(
+                plan, plan.tasks(indices=missing)
             ):
-                writer.append(result)
-                yield result
+                writer.append(key, result)
+                yield key, result
         finally:
             writer.close()
 
-    def _stream_fresh(
-        self,
-        scheme_factory: SchemeFactory,
-        workload: ZooWorkload,
-        matrices_per_network: Optional[int],
-        indices: List[int],
-    ) -> Iterator[NetworkResult]:
-        if not indices:
+    def _stream_plan_fresh(
+        self, plan: EvalPlan, tasks: List[EvalTask]
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
+        if not tasks:
             return iter(())
-        workers = min(self.n_workers, len(indices))
+        workers = min(self.n_workers, len(tasks))
         if workers > 1:
-            from repro.experiments.spec import is_spawn_safe
-
             methods = multiprocessing.get_all_start_methods()
             if "fork" in methods:
-                return self._stream_parallel(
-                    scheme_factory, workload, matrices_per_network, indices,
-                    workers,
-                )
-            if "spawn" in methods and is_spawn_safe(scheme_factory):
-                return self._stream_spawn(
-                    scheme_factory, workload, matrices_per_network, indices,
-                    workers,
-                )
+                return self._stream_plan_parallel(plan, tasks, workers)
+            if "spawn" in methods and plan.spawn_safe():
+                return self._stream_plan_spawn(plan, tasks, workers)
             if "spawn" in methods:
                 warnings.warn(
-                    "fork start method unavailable and the scheme factory "
+                    "fork start method unavailable and a scheme factory "
                     "is not a picklable SchemeSpec (see "
                     "repro.experiments.spec); falling back to serial "
                     "evaluation",
@@ -299,46 +343,37 @@ class ExperimentEngine:
                     RuntimeWarning,
                     stacklevel=3,
                 )
-        return self._stream_serial(
-            scheme_factory, workload, matrices_per_network, indices
-        )
+        return self._stream_plan_serial(plan, tasks)
 
-    def _stream_serial(
-        self,
-        scheme_factory: SchemeFactory,
-        workload: ZooWorkload,
-        matrices_per_network: Optional[int],
-        indices: List[int],
-    ) -> Iterator[NetworkResult]:
-        for index in indices:
-            yield self._evaluate_network(
-                scheme_factory, workload.networks[index],
-                matrices_per_network, index,
+    def _stream_plan_serial(
+        self, plan: EvalPlan, tasks: List[EvalTask]
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
+        for task in tasks:
+            stream = plan.streams[task.stream]
+            yield task.stream, self._evaluate_network(
+                stream.factory,
+                stream.workload.networks[task.index],
+                stream.matrices_per_network,
+                task.index,
             )
 
-    def _stream_parallel(
-        self,
-        scheme_factory: SchemeFactory,
-        workload: ZooWorkload,
-        matrices_per_network: Optional[int],
-        indices: List[int],
-        workers: int,
-    ) -> Iterator[NetworkResult]:
-        # Workers are forked, so the factory/workload (closures, caches,
-        # live generators — none of it picklable) is inherited by memory
-        # image instead of serialized.  Only the run token and the network
-        # index cross the pipe.
+    def _stream_plan_parallel(
+        self, plan: EvalPlan, tasks: List[EvalTask], workers: int
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
+        # Workers are forked, so factories/workloads (closures, caches,
+        # live generators — none of it picklable) are inherited by memory
+        # image instead of serialized.  Only the run token and the task
+        # (stream key + network index) cross the pipe.
         context = multiprocessing.get_context("fork")
         with _FORK_STATE_LOCK:
             token = next(_FORK_TOKENS)
-            _FORK_STATE[token] = (
-                self, scheme_factory, workload, matrices_per_network
-            )
+            _FORK_STATE[token] = (self, plan)
         pool = None
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             pending = {
-                pool.submit(_forked_evaluate, token, index) for index in indices
+                pool.submit(_forked_evaluate, token, task.stream, task.index)
+                for task in tasks
             }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -346,29 +381,24 @@ class ExperimentEngine:
                     yield future.result()
         finally:
             # A consumer abandoning the iterator early must not wait out
-            # the whole workload: drop everything not yet started.
+            # the whole plan: drop everything not yet started.
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
             with _FORK_STATE_LOCK:
                 _FORK_STATE.pop(token, None)
 
-    def _stream_spawn(
-        self,
-        scheme_factory: SchemeFactory,
-        workload: ZooWorkload,
-        matrices_per_network: Optional[int],
-        indices: List[int],
-        workers: int,
-    ) -> Iterator[NetworkResult]:
+    def _stream_plan_spawn(
+        self, plan: EvalPlan, tasks: List[EvalTask], workers: int
+    ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         # Spawned workers share no memory with the parent, so each task
         # carries everything it needs in picklable form: the spec, the
         # item's network and matrices (plain data), and the KSP cache's
         # materialized paths (its dump() payload, bounded like persisted
         # cache files — the live Yen generators cannot cross the boundary,
         # but they rebuild lazily on demand).  Tasks are submitted lazily,
-        # a bounded window at a time: serializing the whole workload into
-        # the executor up front would hold every network's matrices and
-        # cache dump in flight at once.
+        # a bounded window at a time: serializing the whole plan into the
+        # executor up front would hold every task's matrices and cache
+        # dump in flight at once.
         context = multiprocessing.get_context("spawn")
         engine_kwargs = dict(
             n_workers=1,
@@ -380,33 +410,35 @@ class ExperimentEngine:
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
-            def submit(index: int):
-                item = workload.networks[index]
+            def submit(task: EvalTask):
+                stream = plan.streams[task.stream]
+                item = stream.workload.networks[task.index]
                 matrices = item.matrices
-                if matrices_per_network is not None:
-                    matrices = matrices[:matrices_per_network]
+                if stream.matrices_per_network is not None:
+                    matrices = matrices[: stream.matrices_per_network]
                 return pool.submit(
                     _spawned_evaluate,
+                    task.stream,
                     engine_kwargs,
-                    scheme_factory,
+                    stream.factory,
                     item.network,
                     item.llpd,
                     matrices,
                     item.cache.dump(max_paths_per_pair=self.cache_max_paths),
-                    matrices_per_network,
-                    index,
+                    stream.matrices_per_network,
+                    task.index,
                 )
 
-            remaining = iter(indices)
+            remaining = iter(tasks)
             pending = {
-                submit(index)
-                for index in itertools.islice(remaining, 2 * workers)
+                submit(task)
+                for task in itertools.islice(remaining, 2 * workers)
             }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for index in itertools.islice(remaining, 1):
-                        pending.add(submit(index))
+                    for task in itertools.islice(remaining, 1):
+                        pending.add(submit(task))
                     yield future.result()
         finally:
             if pool is not None:
@@ -500,15 +532,22 @@ class ExperimentEngine:
         )
 
 
-def _forked_evaluate(token: int, index: int) -> NetworkResult:
-    """Worker entry point: evaluate one network from the inherited state."""
-    engine, factory, workload, matrices_per_network = _FORK_STATE[token]
-    return engine._evaluate_network(
-        factory, workload.networks[index], matrices_per_network, index
+def _forked_evaluate(
+    token: int, key: Hashable, index: int
+) -> Tuple[Hashable, NetworkResult]:
+    """Worker entry point: evaluate one task from the inherited plan."""
+    engine, plan = _FORK_STATE[token]
+    stream = plan.streams[key]
+    return key, engine._evaluate_network(
+        stream.factory,
+        stream.workload.networks[index],
+        stream.matrices_per_network,
+        index,
     )
 
 
 def _spawned_evaluate(
+    key: Hashable,
     engine_kwargs: dict,
     factory: SchemeFactory,
     network,
@@ -517,7 +556,7 @@ def _spawned_evaluate(
     cache_payload: dict,
     matrices_per_network: Optional[int],
     index: int,
-) -> NetworkResult:
+) -> Tuple[Hashable, NetworkResult]:
     """Spawn-pool entry point: rebuild the item, evaluate, ship back."""
     from repro.net.paths import KspCacheMismatchError
 
@@ -530,4 +569,6 @@ def _spawned_evaluate(
         network=network, llpd=llpd, matrices=matrices, cache=cache
     )
     engine = ExperimentEngine(**engine_kwargs)
-    return engine._evaluate_network(factory, item, matrices_per_network, index)
+    return key, engine._evaluate_network(
+        factory, item, matrices_per_network, index
+    )

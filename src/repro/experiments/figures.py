@@ -20,17 +20,36 @@ Fig 18 median max stretch vs locality
 Fig 19 Fig 3 plus a Google-like topology
 Fig 20 latency stretch before/after LLPD-guided growth
 ====== ==============================================================
+
+Every multi-call figure (4, 8, 16, 17, 18, 20) is a thin pair of
+
+* a **plan builder** (``figNN_plan``) that declares the figure's whole
+  (scheme x sweep-point x network) grid as one
+  :class:`~repro.experiments.plan.EvalPlan`, and
+* a **reducer** inside the public ``figNN_*`` function that folds the
+  keyed result set into the series the paper plots.
+
+The plan executes as ONE engine pass over one shared process pool —
+schemes and sweep points interleave instead of running one
+``evaluate_scheme`` call (and one pool) at a time — with results
+bit-identical to the per-call path for any worker count.  Store stream
+names are unchanged, so stores written by the per-call path resume
+seamlessly under plans and vice versa.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.metrics import ApaParameters, apa_all_pairs, apa_cdf, llpd
-from repro.experiments.runner import evaluate_scheme, per_network_quantiles
+from repro.experiments.plan import EvalPlan, PlanReport, execute_plan
+from repro.experiments.runner import per_network_quantiles
 from repro.experiments.spec import SchemeSpec
 from repro.experiments.workloads import (
     NetworkWorkload,
@@ -98,6 +117,13 @@ def fig01_apa_cdfs(
 # ----------------------------------------------------------------------
 # Figures 3 and 19
 # ----------------------------------------------------------------------
+def fig03_plan(workload: ZooWorkload) -> EvalPlan:
+    """Figure 3 as a (single-stream) plan: SP over the whole ensemble."""
+    plan = EvalPlan()
+    plan.add("SP", SchemeSpec("SP"), workload)
+    return plan
+
+
 def fig03_sp_congestion(
     workload: ZooWorkload,
     n_workers: int = 1,
@@ -109,16 +135,16 @@ def fig03_sp_congestion(
 
     With a ``store_dir`` results persist to (and re-render from) the
     durable result store; ``engine_opts`` (``resume``, ``store_only``,
-    ``cache_max_paths``) pass through to :func:`evaluate_scheme`.
+    ``cache_max_paths``) pass through to :func:`execute_plan`.
     """
-    outcomes = evaluate_scheme(
-        SchemeSpec("SP"), workload,
+    report = execute_plan(
+        fig03_plan(workload),
         n_workers=n_workers,
         cache_dir=cache_dir,
         store_dir=store_dir,
-        scheme="SP",
         **engine_opts,
     )
+    outcomes = report.outcomes("SP")
     return {
         "median": per_network_quantiles(outcomes, "congested_fraction", 0.5),
         "p90": per_network_quantiles(outcomes, "congested_fraction", 0.9),
@@ -145,6 +171,19 @@ def fig19_google(
 # ----------------------------------------------------------------------
 # Figure 4
 # ----------------------------------------------------------------------
+def fig04_plan(
+    workload: ZooWorkload,
+    schemes: Optional[Dict[str, Callable[[NetworkWorkload], object]]] = None,
+) -> EvalPlan:
+    """All of Figure 4's schemes over the ensemble, as one plan."""
+    if schemes is None:
+        schemes = scheme_factories(headroom=0.0)
+    plan = EvalPlan()
+    for name, factory in schemes.items():
+        plan.add(name, factory, workload)
+    return plan
+
+
 def fig04_schemes(
     workload: ZooWorkload,
     schemes: Optional[Dict[str, Callable[[NetworkWorkload], object]]] = None,
@@ -155,10 +194,9 @@ def fig04_schemes(
 ) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
     """Congestion and latency stretch vs LLPD for each active scheme.
 
-    For parallel runs pass a ``cache_dir``: forked shards warm only their
-    own memory image, so without persistence each scheme's pool redoes the
-    k-shortest paths from cold; the on-disk caches carry the warmth from
-    one scheme's pool to the next.
+    All schemes run in one engine pass over one shared pool, interleaved
+    across networks; with a ``cache_dir`` every task warm-starts from the
+    persistent per-network KSP caches.
 
     With a ``store_dir``, each scheme's results live in a store stream
     named by its key in ``schemes`` — callers passing custom factories
@@ -166,17 +204,16 @@ def fig04_schemes(
     """
     if schemes is None:
         schemes = scheme_factories(headroom=0.0)
+    report = execute_plan(
+        fig04_plan(workload, schemes),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
     results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
-    for name, factory in schemes.items():
-        outcomes = evaluate_scheme(
-            factory,
-            workload,
-            n_workers=n_workers,
-            cache_dir=cache_dir,
-            store_dir=store_dir,
-            scheme=name,
-            **engine_opts,
-        )
+    for name in schemes:
+        outcomes = report.outcomes(name)
         results[name] = {
             "congestion_median": per_network_quantiles(
                 outcomes, "congested_fraction", 0.5
@@ -215,6 +252,22 @@ def fig07_utilization_cdf(
 # ----------------------------------------------------------------------
 # Figure 8
 # ----------------------------------------------------------------------
+def fig08_plan(
+    workload: ZooWorkload,
+    headrooms: Sequence[float] = (0.0, 0.11, 0.23, 0.40),
+) -> EvalPlan:
+    """The whole headroom sweep as one plan: one LDR stream per setting."""
+    plan = EvalPlan()
+    for headroom in headrooms:
+        plan.add(
+            headroom,
+            SchemeSpec("LDR", {"headroom": headroom}),
+            workload,
+            scheme=f"LDR@h={headroom!r}",
+        )
+    return plan
+
+
 def fig08_headroom_sweep(
     workload: ZooWorkload,
     headrooms: Sequence[float] = (0.0, 0.11, 0.23, 0.40),
@@ -227,21 +280,22 @@ def fig08_headroom_sweep(
 
     The paper runs this on a lighter load (min-cut at 60%, growth 1.65) so
     even 40% headroom remains feasible; pass a workload built with
-    ``growth_factor=1.65``.
+    ``growth_factor=1.65``.  All headroom settings execute as one engine
+    pass over a single shared pool.
     """
-    results: Dict[float, List[Tuple[float, float]]] = {}
-    for headroom in headrooms:
-        outcomes = evaluate_scheme(
-            SchemeSpec("LDR", {"headroom": headroom}),
-            workload,
-            n_workers=n_workers,
-            cache_dir=cache_dir,
-            store_dir=store_dir,
-            scheme=f"LDR@h={headroom!r}",
-            **engine_opts,
+    report = execute_plan(
+        fig08_plan(workload, headrooms),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
+    return {
+        headroom: per_network_quantiles(
+            report.outcomes(headroom), "latency_stretch", 0.5
         )
-        results[headroom] = per_network_quantiles(outcomes, "latency_stretch", 0.5)
-    return results
+        for headroom in headrooms
+    }
 
 
 # ----------------------------------------------------------------------
@@ -337,21 +391,17 @@ def fig15_runtimes(
 # ----------------------------------------------------------------------
 # Figure 16
 # ----------------------------------------------------------------------
-def fig16_max_stretch_cdfs(
+def fig16_plan(
     workload: ZooWorkload,
     llpd_split: float = 0.5,
     headrooms: Sequence[float] = (0.0, 0.10),
-    n_workers: int = 1,
-    cache_dir: Optional[str] = None,
-    store_dir: Optional[str] = None,
-    **engine_opts,
-) -> Dict[str, Dict[str, Dict[str, object]]]:
-    """Max-path-stretch CDism data per (LLPD class, headroom, scheme).
+) -> EvalPlan:
+    """All (LLPD class, headroom, scheme) cells of Figure 16 as one plan.
 
-    Returns ``result[class_key][scheme] = {"stretches": sorted list of max
-    path stretch over routable cases, "unroutable_fraction": float}``, with
-    class keys ``low_h0``, ``high_h0`` and ``high_h10`` as in the paper's
-    Figures 16(a)-(c).
+    Stream keys are ``(class_key, scheme_name)`` tuples; store stream
+    names keep the headroom qualifier (``B4@h=0.1``) because ``high_h0``
+    and ``high_h10`` share a workload signature (same subset, same
+    matrices) and the scheme name alone would collide in the store.
     """
     low = ZooWorkload(
         networks=[w for w in workload.networks if w.llpd < llpd_split],
@@ -370,22 +420,46 @@ def fig16_max_stretch_cdfs(
         "high_h0": (high, headrooms[0]),
         "high_h10": (high, headrooms[1]),
     }
-    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    plan = EvalPlan()
     for key, (subset, headroom) in cases.items():
-        results[key] = {}
         for name, factory in scheme_factories(headroom=headroom).items():
-            # The headroom goes into the stream key: high_h0 and high_h10
-            # share a workload signature (same subset, same matrices), so
-            # the scheme name alone would collide in the store.
-            outcomes = evaluate_scheme(
+            plan.add(
+                (key, name),
                 factory,
                 subset,
-                n_workers=n_workers,
-                cache_dir=cache_dir,
-                store_dir=store_dir,
                 scheme=f"{name}@h={headroom!r}",
-                **engine_opts,
             )
+    return plan
+
+
+def fig16_max_stretch_cdfs(
+    workload: ZooWorkload,
+    llpd_split: float = 0.5,
+    headrooms: Sequence[float] = (0.0, 0.10),
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Max-path-stretch CDF data per (LLPD class, headroom, scheme).
+
+    Returns ``result[class_key][scheme] = {"stretches": sorted list of max
+    path stretch over routable cases, "unroutable_fraction": float}``, with
+    class keys ``low_h0``, ``high_h0`` and ``high_h10`` as in the paper's
+    Figures 16(a)-(c).
+    """
+    report = execute_plan(
+        fig16_plan(workload, llpd_split, headrooms),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for key in ("low_h0", "high_h0", "high_h10"):
+        results[key] = {}
+        for name in scheme_factories():
+            outcomes = report.outcomes((key, name))
             routable = [o.max_path_stretch for o in outcomes if o.fits]
             unroutable = sum(1 for o in outcomes if not o.fits)
             results[key][name] = {
@@ -400,24 +474,18 @@ def fig16_max_stretch_cdfs(
 # ----------------------------------------------------------------------
 # Figure 17
 # ----------------------------------------------------------------------
-def fig17_load_sweep(
+def fig17_plan(
     items: Sequence[NetworkWorkload],
     loads: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
-    n_workers: int = 1,
-    cache_dir: Optional[str] = None,
-    store_dir: Optional[str] = None,
-    **engine_opts,
-) -> Dict[str, List[Tuple[float, float]]]:
-    """Median max flow stretch vs min-cut load, high-LLPD networks.
+) -> EvalPlan:
+    """The whole (load x scheme) grid of Figure 17 as one plan.
 
-    Base matrices are rescaled per target load (growth = 1/load).  Each
-    (load, scheme) evaluation runs through :func:`evaluate_scheme`, so the
-    sweep shards across ``n_workers``, warm-starts from ``cache_dir`` and
-    persists to ``store_dir`` like figures 3/4/8/16.
+    Base matrices are rescaled per target load (growth = 1/load); stream
+    keys are ``(scheme_name, load)`` tuples and store stream names keep
+    the historical ``<scheme>@load=<load>`` form, so stores written by
+    the per-call path resume under plans unchanged.
     """
-    results: Dict[str, List[Tuple[float, float]]] = {
-        name: [] for name in scheme_factories()
-    }
+    plan = EvalPlan()
     for load in loads:
         rescaled_items = [
             NetworkWorkload(
@@ -433,15 +501,43 @@ def fig17_load_sweep(
         ]
         workload = _adhoc_workload(rescaled_items, growth_factor=1.0 / load)
         for name, factory in scheme_factories().items():
-            outcomes = evaluate_scheme(
+            plan.add(
+                (name, load),
                 factory,
                 workload,
-                n_workers=n_workers,
-                cache_dir=cache_dir,
-                store_dir=store_dir,
                 scheme=f"{name}@load={load!r}",
-                **engine_opts,
             )
+    return plan
+
+
+def fig17_load_sweep(
+    items: Sequence[NetworkWorkload],
+    loads: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Median max flow stretch vs min-cut load, high-LLPD networks.
+
+    The full (load, scheme, network) grid executes as ONE engine pass
+    over a single shared pool — no per-(scheme, sweep-point) pool
+    construction — sharding across ``n_workers``, warm-starting from
+    ``cache_dir`` and persisting per stream to ``store_dir``.
+    """
+    report = execute_plan(
+        fig17_plan(items, loads),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
+    results: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in scheme_factories()
+    }
+    for load in loads:
+        for name in results:
+            outcomes = report.outcomes((name, load))
             results[name].append(
                 (load, float(np.median([o.max_path_stretch for o in outcomes])))
             )
@@ -451,18 +547,14 @@ def fig17_load_sweep(
 # ----------------------------------------------------------------------
 # Figure 18
 # ----------------------------------------------------------------------
-def fig18_locality_sweep(
+def fig18_plan(
     networks: Sequence[Network],
     localities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
     n_matrices: int = 2,
     growth_factor: float = 1.3,
     seed: int = 0,
-    n_workers: int = 1,
-    cache_dir: Optional[str] = None,
-    store_dir: Optional[str] = None,
-    **engine_opts,
-) -> Dict[str, List[Tuple[float, float]]]:
-    """Median max flow stretch vs traffic locality.
+) -> EvalPlan:
+    """The whole (locality x scheme) grid of Figure 18 as one plan.
 
     The base gravity matrix is scaled to the target load *first* and
     locality is applied to the scaled matrix.  This matches the paper's
@@ -473,11 +565,8 @@ def fig18_locality_sweep(
     locality value (which would re-inflate whatever the locality shift
     relieved).
     """
-    from repro.tm import apply_locality, gravity_traffic_matrix, scale_to_growth_headroom
+    from repro.tm import apply_locality, gravity_traffic_matrix
 
-    results: Dict[str, List[Tuple[float, float]]] = {
-        name: [] for name in scheme_factories()
-    }
     rng = np.random.default_rng(seed)
     caches = [KspCache(network) for network in networks]
     bases: List[List[TrafficMatrix]] = []
@@ -488,6 +577,7 @@ def fig18_locality_sweep(
             base = scale_to_growth_headroom(network, base, growth_factor)
             per_network.append(base)
         bases.append(per_network)
+    plan = EvalPlan()
     for locality in localities:
         items = [
             NetworkWorkload(
@@ -508,15 +598,45 @@ def fig18_locality_sweep(
             seed=seed,
         )
         for name, factory in scheme_factories().items():
-            outcomes = evaluate_scheme(
+            plan.add(
+                (name, locality),
                 factory,
                 workload,
-                n_workers=n_workers,
-                cache_dir=cache_dir,
-                store_dir=store_dir,
                 scheme=f"{name}@loc={locality!r}",
-                **engine_opts,
             )
+    return plan
+
+
+def fig18_locality_sweep(
+    networks: Sequence[Network],
+    localities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    n_matrices: int = 2,
+    growth_factor: float = 1.3,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    **engine_opts,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Median max flow stretch vs traffic locality.
+
+    The full (locality, scheme, network) grid executes as ONE engine
+    pass over a single shared pool; see :func:`fig18_plan` for the
+    load-then-locality matrix construction the sweep depends on.
+    """
+    report = execute_plan(
+        fig18_plan(networks, localities, n_matrices, growth_factor, seed),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
+    results: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in scheme_factories()
+    }
+    for locality in localities:
+        for name in results:
+            outcomes = report.outcomes((name, locality))
             results[name].append(
                 (
                     locality,
@@ -529,6 +649,118 @@ def fig18_locality_sweep(
 # ----------------------------------------------------------------------
 # Figure 20
 # ----------------------------------------------------------------------
+def _grow_network_cached(
+    network: Network,
+    growth_fraction: float,
+    max_candidates: int,
+    apa_params: ApaParameters,
+    cache_dir: Optional[str],
+) -> Network:
+    """LLPD-guided growth with an on-disk topology cache.
+
+    Growth is deterministic but expensive (each candidate link costs a
+    full LLPD evaluation), and a store-only re-render used to pay it
+    again for every network despite doing zero scheme evaluations.  With
+    a ``cache_dir``, the grown topology is persisted as JSON under a key
+    covering the source network's content hash and every growth
+    parameter; the JSON round trip is exact (floats via repr, node and
+    link order preserved), so a cache hit yields the same store
+    signature and the same evaluation results as regrowing.
+    """
+    from repro.net.mutate import grow_by_llpd
+
+    path = None
+    if cache_dir is not None:
+        from repro.net.io import from_json
+        from repro.net.paths import network_signature
+
+        key = hashlib.sha256(
+            f"grown|{network_signature(network)}|{growth_fraction!r}"
+            f"|{max_candidates!r}|{apa_params.stretch_limit!r}"
+            f"|{apa_params.max_alternates!r}"
+            f"|{apa_params.llpd_threshold!r}".encode()
+        ).hexdigest()
+        path = Path(cache_dir) / f"grown-{key}.json"
+        if path.exists():
+            try:
+                return from_json(path.read_text())
+            except (OSError, ValueError, KeyError, TypeError):
+                pass  # corrupt or stale cache file: regrow
+
+    grown, _ = grow_by_llpd(
+        network,
+        score=lambda net: llpd(net, apa_params),
+        growth_fraction=growth_fraction,
+        max_candidates=max_candidates,
+    )
+    if path is not None:
+        import tempfile
+
+        from repro.net.io import to_json
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp file + atomic rename, like KspCache.dump_file: a
+        # shared temp path would let two concurrent runs race — one
+        # renaming the other's half-written file into place and the
+        # loser crashing on the vanished temp.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(to_json(grown))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    return grown
+
+
+def fig20_plan(
+    items: Sequence[NetworkWorkload],
+    growth_fraction: float = 0.05,
+    max_candidates: int = 20,
+    apa_params: ApaParameters = ApaParameters(),
+    cache_dir: Optional[str] = None,
+) -> EvalPlan:
+    """Figure 20's (scheme x {base, grown}) grid as one plan.
+
+    With a ``cache_dir`` the LLPD-grown topologies come from (and are
+    persisted to) the on-disk topology cache, so a ``store_only``
+    re-render does zero ``grow_by_llpd`` recomputation on top of its
+    zero scheme evaluations.
+    """
+    grown_items: List[NetworkWorkload] = []
+    for item in items:
+        grown_network = _grow_network_cached(
+            item.network,
+            growth_fraction=growth_fraction,
+            max_candidates=max_candidates,
+            apa_params=apa_params,
+            cache_dir=cache_dir,
+        )
+        grown_items.append(
+            NetworkWorkload(
+                network=grown_network, llpd=item.llpd, matrices=item.matrices
+            )
+        )
+    base_workload = _adhoc_workload(items)
+    grown_workload = _adhoc_workload(grown_items)
+    plan = EvalPlan()
+    for name, factory in scheme_factories().items():
+        for phase, workload in (
+            ("base", base_workload),
+            ("grown", grown_workload),
+        ):
+            plan.add(
+                (name, phase), factory, workload, scheme=f"{name}@{phase}"
+            )
+    return plan
+
+
 def fig20_growth_benefit(
     items: Sequence[NetworkWorkload],
     growth_fraction: float = 0.05,
@@ -544,62 +776,34 @@ def fig20_growth_benefit(
     Returns per scheme the (before, after) latency-stretch pairs: medians
     and 90th percentiles across each network's traffic matrices.
 
-    The before- and after-growth ensembles each run through
-    :func:`evaluate_scheme` (parallelizable, cacheable, storable).  Note a
-    store-only re-render still recomputes the LLPD-guided growth itself —
-    the grown topologies feed the store key — but performs zero scheme
-    evaluations.
+    Base and grown ensembles for every scheme execute as ONE engine pass
+    over a single shared pool.  Per-network grouping falls out of the
+    plan's keyed result set — each stream's results arrive chunked per
+    network, so no manual offset re-chunking of a flattened outcome list
+    is needed.
     """
-    from repro.net.mutate import grow_by_llpd
-
-    grown_items: List[NetworkWorkload] = []
-    for item in items:
-        grown_network, _ = grow_by_llpd(
-            item.network,
-            score=lambda net: llpd(net, apa_params),
+    report = execute_plan(
+        fig20_plan(
+            items,
             growth_fraction=growth_fraction,
             max_candidates=max_candidates,
-        )
-        grown_items.append(
-            NetworkWorkload(
-                network=grown_network, llpd=item.llpd, matrices=item.matrices
-            )
-        )
-    base_workload = _adhoc_workload(items)
-    grown_workload = _adhoc_workload(grown_items)
-
+            apa_params=apa_params,
+            cache_dir=cache_dir,
+        ),
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        **engine_opts,
+    )
     results: Dict[str, Dict[str, List[Tuple[float, float]]]] = {
         name: {"median": [], "p90": []} for name in scheme_factories()
     }
-    for name, factory in scheme_factories().items():
-        evaluations = {}
-        for phase, workload in (
-            ("base", base_workload),
-            ("grown", grown_workload),
-        ):
-            evaluations[phase] = evaluate_scheme(
-                factory,
-                workload,
-                n_workers=n_workers,
-                cache_dir=cache_dir,
-                store_dir=store_dir,
-                scheme=f"{name}@{phase}",
-                **engine_opts,
-            )
-        # Outcomes come back flattened in workload order (network, then
-        # matrix); chunk them back per item to take per-network quantiles.
-        offset = 0
-        for item in items:
-            count = len(item.matrices)
-            before = [
-                o.latency_stretch
-                for o in evaluations["base"][offset:offset + count]
-            ]
-            after = [
-                o.latency_stretch
-                for o in evaluations["grown"][offset:offset + count]
-            ]
-            offset += count
+    for name in results:
+        base_results = report.results[(name, "base")]
+        grown_results = report.results[(name, "grown")]
+        for base, grown in zip(base_results, grown_results):
+            before = [o.latency_stretch for o in base.outcomes]
+            after = [o.latency_stretch for o in grown.outcomes]
             results[name]["median"].append(
                 (float(np.median(before)), float(np.median(after)))
             )

@@ -1,0 +1,241 @@
+"""Evaluation plans: whole-figure batches across schemes and sweeps.
+
+The paper's headline scaling result (its Figure 15) is about evaluation
+runtime, yet running a figure one ``evaluate_scheme`` call at a time
+serializes the outer loops: Figure 17 is 16 calls (4 loads x 4 schemes)
+and Figure 18 is 20, each paying for a fresh process pool while tasks
+from different schemes and sweep points never overlap.  An
+:class:`EvalPlan` turns the whole (scheme x sweep-point x network) grid
+into one flat batch:
+
+* A **stream** is one (scheme factory, workload) pairing — exactly the
+  unit today's per-call path evaluates — registered under a hashable
+  ``key`` (a string, or a structured tuple like ``("B4", 0.6)``).  Each
+  stream also names its durable result-store stream (``scheme``), so a
+  plan run resumes per-stream against the same
+  ``<store>/<workload-sig>/<scheme>.jsonl`` files the per-call path used.
+* An :class:`EvalTask` is the flat, picklable unit of execution: one
+  (stream key, network index) pair.  Paired with its plan's stream entry
+  it denotes (scheme spec, workload item, global index, store stream
+  key); only the task itself ever crosses a process boundary on ``fork``
+  pools.
+* :meth:`EvalPlan.tasks` interleaves tasks round-robin across streams,
+  so a shared pool alternates schemes and sweep points instead of
+  draining one scheme before starting the next.
+
+Execution is the engine's job —
+:meth:`repro.experiments.engine.ExperimentEngine.run_plan` runs an
+entire plan on **one** shared process pool (fork and spawn alike) and
+returns a :class:`PlanReport` keyed by stream.  Because every task is
+the same pure per-network function the per-call path runs, plan
+execution is bit-identical to per-call execution for any worker count;
+:func:`execute_plan` is the one-call convenience wrapper mirroring
+:func:`repro.experiments.runner.evaluate_scheme`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+)
+
+from repro.experiments.workloads import NetworkWorkload, ZooWorkload
+
+if TYPE_CHECKING:  # circular at runtime: the engine imports this module
+    from repro.experiments.engine import NetworkResult
+    from repro.experiments.runner import SchemeOutcome
+
+#: Same shape the engine consumes: ``(item) -> RoutingScheme``.
+SchemeFactory = Callable[[NetworkWorkload], object]
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One flat unit of plan execution: a network of one stream.
+
+    ``stream`` is the plan key of the stream the task belongs to and
+    ``index`` the item's position in that stream's workload — the same
+    global index the per-call path would report, so ids and store
+    records line up exactly.  Tasks are trivially picklable; the stream
+    entry they reference (factory, workload item, store stream name)
+    stays on the plan and never crosses a ``fork`` pipe.
+    """
+
+    stream: Hashable
+    index: int
+
+
+@dataclass
+class PlanStream:
+    """One (factory, workload) pairing of a plan.
+
+    ``key`` is the plan-local handle reducers read results back under;
+    ``scheme`` names the durable result-store stream (a string, since it
+    becomes a file name).  Keeping the two separate is what kills the
+    string-mangled result keys the figure layer used to build: reducers
+    index ``("B4", 0.6)`` while the store keeps its stable
+    ``"B4@load=0.6"`` stream names.
+    """
+
+    key: Hashable
+    factory: SchemeFactory
+    workload: ZooWorkload
+    scheme: str
+    matrices_per_network: Optional[int] = None
+
+    @property
+    def n_networks(self) -> int:
+        return len(self.workload.networks)
+
+
+class EvalPlan:
+    """A whole figure's evaluation grid, declared up front.
+
+    Builders :meth:`add` one stream per (scheme, sweep point); the
+    engine executes all of them in a single pass over one shared pool.
+    Stream keys must be unique per plan and hashable; non-string keys
+    (sweep tuples) must name their store stream explicitly.
+    """
+
+    def __init__(self) -> None:
+        self.streams: Dict[Hashable, PlanStream] = {}
+
+    def add(
+        self,
+        key: Hashable,
+        factory: SchemeFactory,
+        workload: ZooWorkload,
+        scheme: Optional[str] = None,
+        matrices_per_network: Optional[int] = None,
+    ) -> Hashable:
+        """Register one stream; returns ``key`` for chaining convenience."""
+        if key in self.streams:
+            raise ValueError(f"duplicate plan stream key {key!r}")
+        if scheme is None:
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"stream key {key!r} is not a string; pass an explicit "
+                    f"scheme stream name"
+                )
+            scheme = key
+        if not scheme:
+            raise ValueError("scheme stream name must be non-empty")
+        self.streams[key] = PlanStream(
+            key=key,
+            factory=factory,
+            workload=workload,
+            scheme=scheme,
+            matrices_per_network=matrices_per_network,
+        )
+        return key
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(stream.n_networks for stream in self.streams.values())
+
+    def item(self, task: EvalTask) -> NetworkWorkload:
+        """The workload item a task evaluates."""
+        return self.streams[task.stream].workload.networks[task.index]
+
+    def tasks(
+        self, indices: Optional[Dict[Hashable, Sequence[int]]] = None
+    ) -> List[EvalTask]:
+        """Flatten the plan, interleaved round-robin across streams.
+
+        ``indices`` restricts each stream to the given network indices
+        (the store-resume path passes only the missing ones); by default
+        every network of every stream is included.  Round-robin order
+        means a pool with few workers alternates schemes and sweep
+        points — the whole point of batching — and a single-stream plan
+        degenerates to plain workload order.
+        """
+        per_stream: List[List[EvalTask]] = []
+        for key, stream in self.streams.items():
+            wanted = (
+                indices.get(key, []) if indices is not None
+                else range(stream.n_networks)
+            )
+            per_stream.append([EvalTask(stream=key, index=i) for i in wanted])
+        interleaved: List[EvalTask] = []
+        for position in range(max((len(t) for t in per_stream), default=0)):
+            for tasks in per_stream:
+                if position < len(tasks):
+                    interleaved.append(tasks[position])
+        return interleaved
+
+    def spawn_safe(self) -> bool:
+        """Whether every stream's factory can cross a spawn/host boundary."""
+        from repro.experiments.spec import is_spawn_safe
+
+        return all(
+            is_spawn_safe(stream.factory) for stream in self.streams.values()
+        )
+
+
+@dataclass
+class PlanReport:
+    """Result of one plan run: per-stream results in workload order."""
+
+    results: Dict[Hashable, List["NetworkResult"]] = field(
+        default_factory=dict
+    )
+
+    def outcomes(self, key: Hashable) -> List["SchemeOutcome"]:
+        """One stream's outcomes flattened in workload order."""
+        return [o for result in self.results[key] for o in result.outcomes]
+
+    def all_outcomes(self) -> Dict[Hashable, List["SchemeOutcome"]]:
+        """Every stream's flattened outcomes, keyed like the plan."""
+        return {key: self.outcomes(key) for key in self.results}
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of per-network evaluation times across all streams."""
+        return sum(
+            result.seconds
+            for results in self.results.values()
+            for result in results
+        )
+
+
+def execute_plan(
+    plan: EvalPlan,
+    n_workers: int = 1,
+    cache_dir: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    resume: bool = True,
+    store_only: bool = False,
+    cache_max_paths: Optional[int] = None,
+) -> PlanReport:
+    """Run a whole plan on one shared pool; mirror of ``evaluate_scheme``.
+
+    All engine knobs behave exactly as they do for single-scheme runs:
+    ``cache_dir`` warm-starts per-network KSP caches, ``store_dir``
+    persists (and resumes) every stream of the plan in one pass, and
+    ``store_only`` serves the entire plan from disk, raising
+    :class:`~repro.experiments.store.StoreMissError` if any stream is
+    incomplete.  Results are bit-identical to looping
+    :func:`~repro.experiments.runner.evaluate_scheme` over the plan's
+    streams, for any worker count, on fork and spawn pools alike.
+    """
+    from repro.experiments.engine import ExperimentEngine
+
+    engine = ExperimentEngine(
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        resume=resume,
+        store_only=store_only,
+        cache_max_paths=cache_max_paths,
+    )
+    return engine.run_plan(plan)

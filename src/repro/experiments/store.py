@@ -298,6 +298,73 @@ def _dump_line(record: dict) -> str:
     return json.dumps(record, separators=(",", ":")) + "\n"
 
 
+class MultiStreamWriter:
+    """Batched appender over the several streams of one plan run.
+
+    A plan (:mod:`repro.experiments.plan`) writes to one stream per
+    (scheme, sweep point) in a single engine pass; this writer holds one
+    :class:`StoreWriter` per plan stream key so each stream resumes
+    independently — a plan killed mid-run re-opens every stream and each
+    one serves exactly the results it already holds.
+
+    Opening two plan streams onto the same underlying file — same
+    signature and a scheme key that sanitizes to the same file name —
+    raises :class:`StoreError` immediately: two appenders interleaving
+    records into one stream would corrupt the resume bookkeeping, and a
+    plan that declares such streams is malformed.
+    """
+
+    def __init__(self, store: "ResultStore", resume: bool = True) -> None:
+        self._store = store
+        self._resume = resume
+        self._writers: Dict[object, StoreWriter] = {}
+        self._files: Dict[Tuple[str, str], object] = {}
+
+    def open(
+        self, key: object, signature: str, scheme: str, n_networks: int
+    ) -> Dict[int, "NetworkResult"]:
+        """Open (or adopt) one stream; returns its already-stored results."""
+        if key in self._writers:
+            raise StoreError(f"plan stream {key!r} opened twice")
+        ident = (signature, scheme_file_name(scheme))
+        clash = self._files.get(ident)
+        if clash is not None:
+            raise StoreError(
+                f"plan streams {clash!r} and {key!r} both write "
+                f"{signature}/{ident[1]}; scheme stream names must be "
+                f"unique per workload"
+            )
+        writer = self._store.open_writer(
+            signature, scheme, n_networks=n_networks, resume=self._resume
+        )
+        self._writers[key] = writer
+        self._files[ident] = key
+        return writer.stored
+
+    def append(self, key: object, result: "NetworkResult") -> None:
+        """Append one completed network's result to its stream."""
+        self._writers[key].append(result)
+
+    def close(self) -> None:
+        """Close every stream, even if individual closes fail."""
+        errors = []
+        for writer in self._writers.values():
+            try:
+                writer.close()
+            except OSError as exc:  # pragma: no cover - close rarely fails
+                errors.append(exc)
+        self._writers.clear()
+        self._files.clear()
+        if errors:
+            raise errors[0]
+
+    def __enter__(self) -> "MultiStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class ResultStore:
     """A directory of result streams, keyed by (signature, scheme)."""
 

@@ -1,0 +1,402 @@
+"""Tests for the evaluation-plan layer: whole-figure batches.
+
+The contract under test is the tentpole one: executing a figure's whole
+(scheme x sweep-point x network) grid as ONE engine pass over a single
+shared pool is **bit-identical** to the pre-refactor path of one
+``evaluate_scheme`` call (one pool) per (scheme, sweep point) — for any
+worker count, on fork and spawn pools, fresh or resumed mid-plan.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.figures import (
+    fig04_plan,
+    fig17_plan,
+    fig18_plan,
+    fig20_plan,
+    scheme_factories,
+)
+from repro.experiments.plan import EvalPlan, EvalTask, execute_plan
+from repro.experiments.runner import evaluate_scheme
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.workloads import (
+    NetworkWorkload,
+    ZooWorkload,
+    build_traffic_matrices,
+    build_zoo_workload,
+)
+from repro.net.zoo import grid_network, ring_network
+from repro.routing import ShortestPathRouting
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_zoo_workload(
+        n_networks=4, n_matrices=1, seed=7, include_named=False
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_items():
+    rng = np.random.default_rng(3)
+    items = []
+    for network, llpd_value in (
+        (ring_network(6, np.random.default_rng(1)), 0.2),
+        (grid_network(2, 3, np.random.default_rng(2), name="plan-grid"), 0.5),
+    ):
+        items.append(
+            NetworkWorkload(
+                network=network,
+                llpd=llpd_value,
+                matrices=build_traffic_matrices(
+                    network, 1, rng, locality=1.0, growth_factor=1.3
+                ),
+            )
+        )
+    return items
+
+
+def per_call_reference(plan):
+    """The pre-refactor execution: one evaluate_scheme call per stream."""
+    return {
+        key: evaluate_scheme(
+            stream.factory, stream.workload, stream.matrices_per_network
+        )
+        for key, stream in plan.streams.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def figure_plans(workload, sweep_items):
+    return {
+        "fig04": fig04_plan(workload),
+        "fig17": fig17_plan(sweep_items, loads=(0.6, 0.9)),
+        "fig18": fig18_plan(
+            [item.network for item in sweep_items],
+            localities=(0.0, 1.0),
+            n_matrices=1,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def figure_references(figure_plans):
+    return {
+        name: per_call_reference(plan)
+        for name, plan in figure_plans.items()
+    }
+
+
+class TestPlanMatchesPerCall:
+    """Property: plan execution == per-call loop, bit for bit."""
+
+    @pytest.mark.parametrize("fig", ["fig04", "fig17", "fig18"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fork_pool(self, figure_plans, figure_references, fig, workers):
+        report = execute_plan(figure_plans[fig], n_workers=workers)
+        assert report.all_outcomes() == figure_references[fig]
+
+    @pytest.mark.parametrize("fig", ["fig04", "fig17", "fig18"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_spawn_pool(
+        self, figure_plans, figure_references, fig, workers, monkeypatch
+    ):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        assert figure_plans[fig].spawn_safe()
+        report = execute_plan(figure_plans[fig], n_workers=workers)
+        assert report.all_outcomes() == figure_references[fig]
+
+    def test_report_results_in_workload_order(self, figure_plans):
+        report = execute_plan(figure_plans["fig04"], n_workers=4)
+        for key, results in report.results.items():
+            total = figure_plans["fig04"].streams[key].n_networks
+            assert [r.index for r in results] == list(range(total))
+
+
+class TestEvalPlanApi:
+    def test_duplicate_key_rejected(self, workload):
+        plan = EvalPlan()
+        plan.add("SP", SchemeSpec("SP"), workload)
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.add("SP", SchemeSpec("SP"), workload)
+
+    def test_non_string_key_needs_scheme_name(self, workload):
+        plan = EvalPlan()
+        with pytest.raises(ValueError, match="explicit"):
+            plan.add(("SP", 0.6), SchemeSpec("SP"), workload)
+        plan.add(("SP", 0.6), SchemeSpec("SP"), workload, scheme="SP@0.6")
+        assert plan.streams[("SP", 0.6)].scheme == "SP@0.6"
+
+    def test_tasks_interleave_round_robin(self, workload):
+        plan = EvalPlan()
+        plan.add("A", SchemeSpec("SP"), workload)
+        plan.add("B", SchemeSpec("MinMaxK10"), workload)
+        tasks = plan.tasks()
+        assert tasks[:4] == [
+            EvalTask("A", 0),
+            EvalTask("B", 0),
+            EvalTask("A", 1),
+            EvalTask("B", 1),
+        ]
+        assert len(tasks) == plan.n_tasks == 2 * len(workload.networks)
+
+    def test_tasks_restricted_to_missing_indices(self, workload):
+        plan = EvalPlan()
+        plan.add("A", SchemeSpec("SP"), workload)
+        plan.add("B", SchemeSpec("SP"), workload, scheme="B")
+        tasks = plan.tasks(indices={"A": [2], "B": []})
+        assert tasks == [EvalTask("A", 2)]
+
+    def test_spawn_safety_requires_specs_everywhere(self, workload):
+        plan = EvalPlan()
+        plan.add("spec", SchemeSpec("SP"), workload)
+        assert plan.spawn_safe()
+        plan.add(
+            "closure",
+            lambda item: ShortestPathRouting(item.cache),
+            workload,
+        )
+        assert not plan.spawn_safe()
+
+    def test_closure_plan_still_runs_on_fork_pools(self, workload):
+        plan = EvalPlan()
+        plan.add(
+            "closure",
+            lambda item: ShortestPathRouting(item.cache),
+            workload,
+        )
+        report = execute_plan(plan, n_workers=2)
+        assert report.all_outcomes() == per_call_reference(plan)
+
+
+class CountingFactory:
+    """A factory that counts scheme constructions (serial runs only)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, item):
+        self.calls += 1
+        return ShortestPathRouting(item.cache)
+
+
+class TestPlanStore:
+    def test_resume_after_kill_mid_plan(self, figure_plans, tmp_path):
+        plan = figure_plans["fig17"]
+        reference = per_call_reference(plan)
+
+        engine = ExperimentEngine(n_workers=1, store_dir=tmp_path)
+        stream = engine.stream_plan(plan)
+        for _ in range(5):  # "kill" the plan run after five tasks
+            next(stream)
+        stream.close()
+
+        resumed = execute_plan(plan, store_dir=tmp_path)
+        assert resumed.all_outcomes() == reference
+
+    def test_resume_evaluates_only_missing_tasks(self, workload, tmp_path):
+        plan = EvalPlan()
+        first_a, first_b = CountingFactory(), CountingFactory()
+        plan.add("A", first_a, workload)
+        plan.add("B", first_b, workload, scheme="B")
+        total = len(workload.networks)
+
+        engine = ExperimentEngine(n_workers=1, store_dir=tmp_path)
+        stream = engine.stream_plan(plan)
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        assert first_a.calls + first_b.calls == 3
+
+        resume_plan = EvalPlan()
+        second_a, second_b = CountingFactory(), CountingFactory()
+        resume_plan.add("A", second_a, workload)
+        resume_plan.add("B", second_b, workload, scheme="B")
+        report = execute_plan(resume_plan, store_dir=tmp_path)
+        assert second_a.calls + second_b.calls == 2 * total - 3
+        assert {key: len(results) for key, results in report.results.items()} \
+            == {"A": total, "B": total}
+
+    def test_fully_stored_plan_builds_no_scheme(self, workload, tmp_path):
+        plan = EvalPlan()
+        plan.add("A", CountingFactory(), workload)
+        execute_plan(plan, store_dir=tmp_path)
+
+        served_factory = CountingFactory()
+        served_plan = EvalPlan()
+        served_plan.add("A", served_factory, workload)
+        report = execute_plan(
+            served_plan, store_dir=tmp_path, store_only=True
+        )
+        assert served_factory.calls == 0
+        assert report.all_outcomes() == execute_plan(plan).all_outcomes()
+
+    def test_store_streams_shared_with_per_call_path(
+        self, workload, tmp_path
+    ):
+        # A store populated by the classic per-call path must serve a
+        # plan run without any re-evaluation, and vice versa: stream
+        # names and signatures are unchanged by the plan layer.
+        evaluate_scheme(
+            SchemeSpec("SP"), workload, store_dir=tmp_path, scheme="SP"
+        )
+        plan = EvalPlan()
+        factory = CountingFactory()
+        plan.add("SP", factory, workload)
+        report = execute_plan(plan, store_dir=tmp_path, store_only=True)
+        assert factory.calls == 0
+        assert report.outcomes("SP") == evaluate_scheme(
+            SchemeSpec("SP"), workload
+        )
+
+    def test_duplicate_store_streams_rejected(self, workload, tmp_path):
+        from repro.experiments.store import StoreError
+
+        plan = EvalPlan()
+        plan.add("A", SchemeSpec("SP"), workload, scheme="same")
+        plan.add("B", SchemeSpec("SP"), workload, scheme="same")
+        with pytest.raises(StoreError, match="unique"):
+            execute_plan(plan, store_dir=tmp_path)
+
+
+class TestFig20TopologyCache:
+    def test_grown_topologies_cached_and_exact(self, sweep_items, tmp_path):
+        from repro.net import mutate
+        from repro.net.io import to_json
+
+        uncached = fig20_plan(
+            sweep_items, growth_fraction=0.2, max_candidates=4
+        )
+        cold = fig20_plan(
+            sweep_items,
+            growth_fraction=0.2,
+            max_candidates=4,
+            cache_dir=tmp_path,
+        )
+        assert list(tmp_path.glob("grown-*.json"))
+
+        calls = []
+        original = mutate.grow_by_llpd
+
+        def counting_grow(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        mutate.grow_by_llpd = counting_grow
+        try:
+            warm = fig20_plan(
+                sweep_items,
+                growth_fraction=0.2,
+                max_candidates=4,
+                cache_dir=tmp_path,
+            )
+        finally:
+            mutate.grow_by_llpd = original
+        assert not calls  # zero grow_by_llpd recomputation on re-render
+
+        # The cached topologies are byte-exact: same JSON, hence the same
+        # store signatures and the same evaluation results.
+        for key in uncached.streams:
+            for fresh, cached, hot in zip(
+                uncached.streams[key].workload.networks,
+                cold.streams[key].workload.networks,
+                warm.streams[key].workload.networks,
+            ):
+                assert to_json(cached.network) == to_json(fresh.network)
+                assert to_json(hot.network) == to_json(fresh.network)
+
+    def test_corrupt_cache_file_regrows(self, sweep_items, tmp_path):
+        from repro.net.io import to_json
+
+        reference = fig20_plan(
+            sweep_items, growth_fraction=0.2, max_candidates=4,
+            cache_dir=tmp_path,
+        )
+        for path in tmp_path.glob("grown-*.json"):
+            path.write_text("{broken")
+        regrown = fig20_plan(
+            sweep_items, growth_fraction=0.2, max_candidates=4,
+            cache_dir=tmp_path,
+        )
+        for key in reference.streams:
+            for a, b in zip(
+                reference.streams[key].workload.networks,
+                regrown.streams[key].workload.networks,
+            ):
+                assert to_json(a.network) == to_json(b.network)
+
+
+class TestPlanDispatch:
+    def test_dispatch_plan_two_workers_conflict_free(
+        self, workload, tmp_path
+    ):
+        from repro.experiments.dispatch import dispatch_plan
+
+        plan = fig04_plan(
+            workload,
+            schemes={
+                "SP": SchemeSpec("SP"),
+                "MinMaxK10": SchemeSpec("MinMaxK10"),
+            },
+        )
+        report = dispatch_plan(
+            plan,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            work_dir=tmp_path / "work",
+            verify=True,  # asserts bit-identity vs the in-process engine
+        )
+        assert set(report.results) == {"SP", "MinMaxK10"}
+        manifests = sorted((tmp_path / "work" / "manifests").glob("*.json"))
+        assert len(manifests) == 2
+
+        # Re-dispatching against the merged store is a pure no-op merge:
+        # every record is already present (idempotence).
+        again = dispatch_plan(
+            plan,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            work_dir=tmp_path / "work2",
+        )
+        assert again.all_outcomes() == report.all_outcomes()
+
+    def test_plan_manifests_balance_all_streams(self, workload, tmp_path):
+        from repro.experiments.dispatch import (
+            load_manifest,
+            write_plan_manifests,
+        )
+
+        plan = fig04_plan(workload)  # four schemes, one workload
+        paths = write_plan_manifests(plan, 2, tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            manifest = load_manifest(path)
+            # Round-robin striping puts tasks from every scheme into
+            # every shard — no worker drains one scheme alone.
+            streams_hit = {task["stream"] for task in manifest["tasks"]}
+            assert streams_hit == set(range(len(plan.streams)))
+            # The item table is deduplicated: four schemes share one
+            # workload, so each network serializes once, not four times.
+            assert len(manifest["items"]) == len(
+                {task["item"] for task in manifest["tasks"]}
+            )
+            assert len(manifest["items"]) < len(manifest["tasks"])
+
+    def test_closure_plan_rejected(self, workload, tmp_path):
+        from repro.experiments.dispatch import (
+            DispatchError,
+            write_plan_manifests,
+        )
+
+        plan = EvalPlan()
+        plan.add(
+            "closure", lambda item: ShortestPathRouting(item.cache), workload
+        )
+        with pytest.raises(DispatchError, match="non-SchemeSpec"):
+            write_plan_manifests(plan, 2, tmp_path)
