@@ -1,0 +1,145 @@
+"""Cost-aware LPT scheduling vs round-robin on a skew-heavy workload.
+
+The motivating pathology for cost-aware scheduling: an ensemble of many
+small networks plus one large one, with the long pole sitting *last* in
+workload order.  Round-robin interleave drains the small tasks level and
+then tails on the big network alone — makespan is (small work / workers)
++ big task — while LPT (longest-predicted-first) starts the big solve
+immediately and packs the small tasks into the remaining capacity.
+
+The guard compares **simulated makespans**: both orderings are replayed
+through a first-free-worker list-scheduling simulation using the *same*
+measured per-task seconds (from one real run), so the comparison is
+deterministic and immune to machine noise; LPT must never lose.  Wall
+times of both real runs are recorded alongside for context, plus the
+outcomes-equality check: scheduling is pure sequencing and must never
+change a single result.  Everything lands in ``BENCH_schedule.json``.
+
+Worker count scales with ``REPRO_BENCH_WORKERS`` (min 2, so scheduling
+order can matter at all); the skew ensemble is fixed — its *shape* is
+the point, not its size.
+"""
+
+import time
+from typing import List
+
+import numpy as np
+
+from benchmarks.conftest import N_WORKERS, record_bench_json
+from repro.experiments.cost import make_scheduler
+from repro.experiments.plan import EvalPlan, execute_plan
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.workloads import (
+    NetworkWorkload,
+    ZooWorkload,
+    build_traffic_matrices,
+)
+from repro.net.zoo import grid_network, ring_network
+
+WORKERS = max(2, N_WORKERS)
+N_SMALL = 8
+
+
+def _skew_workload() -> ZooWorkload:
+    """Many small rings plus one large grid — the long pole goes LAST.
+
+    Last place is the worst case for cost-blind round-robin (the pool
+    has nothing left to overlap with the big solve) and is exactly
+    where a zoo generator can land a heavy topology.
+    """
+    rng = np.random.default_rng(11)
+    networks = [
+        ring_network(5, np.random.default_rng(i), name=f"skew-ring-{i}")
+        for i in range(N_SMALL)
+    ]
+    networks.append(
+        grid_network(4, 4, np.random.default_rng(99), name="skew-grid")
+    )
+    items = [
+        NetworkWorkload(
+            network=network,
+            llpd=0.0,
+            matrices=build_traffic_matrices(
+                network, 1, rng, locality=1.0, growth_factor=1.3
+            ),
+        )
+        for network in networks
+    ]
+    return ZooWorkload(networks=items, locality=1.0, growth_factor=1.3)
+
+
+def _simulated_makespan(ordered_seconds: List[float], n_workers: int) -> float:
+    """First-free-worker list scheduling over measured task times.
+
+    The same greedy dispatch model a process pool implements: each task
+    goes to the worker that frees up first, in the given order.
+    """
+    finish = [0.0] * n_workers
+    for seconds in ordered_seconds:
+        worker = min(range(n_workers), key=lambda j: finish[j])
+        finish[worker] += seconds
+    return max(finish)
+
+
+def test_lpt_beats_round_robin_on_skewed_workload(benchmark):
+    workload = _skew_workload()
+    plan = EvalPlan()
+    # MinMaxK10 is LP-backed, so per-task cost scales steeply with
+    # topology size — the skew the static predictor must see.
+    plan.add("MinMaxK10", SchemeSpec("MinMaxK10"), workload)
+    lpt = make_scheduler("lpt")
+
+    start = time.perf_counter()
+    rr_report = execute_plan(plan, n_workers=WORKERS)
+    rr_wall_s = time.perf_counter() - start
+
+    lpt_report = benchmark.pedantic(
+        lambda: execute_plan(plan, n_workers=WORKERS, scheduler=lpt),
+        rounds=1,
+        iterations=1,
+    )
+    lpt_wall_s = benchmark.stats.stats.total
+
+    # Scheduling is pure sequencing: bit-identical keyed results.
+    assert lpt_report.all_outcomes() == rr_report.all_outcomes()
+
+    # LPT must actually front-load the long pole.
+    lpt_order = plan.tasks(scheduler=lpt)
+    assert lpt_order[0].index == N_SMALL, (
+        "LPT did not schedule the big grid first — the static cost "
+        "predictor no longer ranks it heaviest"
+    )
+
+    seconds = {
+        (key, result.index): result.seconds
+        for key, results in rr_report.results.items()
+        for result in results
+    }
+    rr_makespan = _simulated_makespan(
+        [seconds[(t.stream, t.index)] for t in plan.tasks()], WORKERS
+    )
+    lpt_makespan = _simulated_makespan(
+        [seconds[(t.stream, t.index)] for t in lpt_order], WORKERS
+    )
+
+    record_bench_json(
+        "schedule",
+        {
+            "n_networks": len(workload.networks),
+            "n_small": N_SMALL,
+            "big_network": "skew-grid (4x4)",
+            "n_workers": WORKERS,
+            "round_robin_makespan_s": rr_makespan,
+            "lpt_makespan_s": lpt_makespan,
+            "makespan_speedup": (
+                rr_makespan / lpt_makespan if lpt_makespan > 0 else None
+            ),
+            "round_robin_wall_s": rr_wall_s,
+            "lpt_wall_s": lpt_wall_s,
+        },
+    )
+    assert lpt_makespan <= rr_makespan, (
+        f"LPT makespan ({lpt_makespan:.3f}s) worse than round-robin "
+        f"({rr_makespan:.3f}s) on the skewed workload — cost-aware "
+        f"scheduling has stopped paying for itself"
+    )

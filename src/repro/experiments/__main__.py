@@ -4,11 +4,12 @@ Usage::
 
     python -m repro.experiments fig03 [--networks 18] [--tms 2] [--workers 4]
     python -m repro.experiments fig03 --store-dir results/   # persist + resume
+    python -m repro.experiments fig17 --workers 8 --schedule lpt  # cost-aware
     python -m repro.experiments render fig03 --store-dir results/
     python -m repro.experiments dispatch SP --shards 2 --store-dir results/
     python -m repro.experiments dispatch fig17 --shards 2 --store-dir results/
     python -m repro.experiments worker shard-000.json --store-dir worker0/
-    python -m repro.experiments store ls --store-dir results/
+    python -m repro.experiments store ls --store-dir results/ [--timings]
     python -m repro.experiments store gc --store-dir results/ --max-age-days 30
     python -m repro.experiments list
 
@@ -25,6 +26,14 @@ durable result store keyed by workload content hash, so a killed run
 restarted with the same arguments evaluates only the missing tasks
 (``--resume``, the default; ``--no-resume`` discards the stored streams
 and recomputes).
+
+``--schedule lpt`` makes execution cost-aware: plan tasks run
+longest-predicted-first and dispatch shards are balanced by predicted
+makespan, with per-task costs replayed from timings the store already
+measured (falling back to a static shape predictor).  Scheduling is
+pure sequencing — results are bit-identical to the default interleave
+schedule.  ``store ls --timings`` shows the stored per-stream seconds
+the predictions replay.
 
 ``dispatch <scheme>`` shards the standard workload (one scheme) and
 ``dispatch <figure>`` shards the figure's whole multi-scheme plan into
@@ -84,6 +93,7 @@ def engine_options(args) -> dict:
         resume=args.resume,
         store_only=args.store_only,
         cache_max_paths=args.cache_max_paths,
+        scheduler=args.schedule,
     )
 
 
@@ -387,6 +397,7 @@ def run_dispatch_command(args) -> int:
             cache_dir=args.cache_dir,
             cache_max_paths=args.cache_max_paths,
             resume=args.resume,
+            scheduler=args.schedule,
         )
         print(
             f"dispatch: {args.shards} shard worker(s) evaluated the "
@@ -410,6 +421,7 @@ def run_dispatch_command(args) -> int:
         cache_dir=args.cache_dir,
         cache_max_paths=args.cache_max_paths,
         resume=args.resume,
+        scheduler=args.schedule,
     )
     print(
         f"dispatch: {args.shards} shard worker(s) evaluated "
@@ -439,7 +451,9 @@ def run_store_command(args) -> int:
         return 2
     store = ResultStore(args.store_dir)
     if args.target == "ls":
-        streams = store.list_streams()
+        # --timings rides the same light scanner the cost model's
+        # learned-replay table reads; one pass per stream either way.
+        streams = store.list_streams(timings=args.timings)
         if not streams:
             print(f"store {args.store_dir}: empty")
             return 0
@@ -451,10 +465,19 @@ def run_store_command(args) -> int:
                 if total is not None
                 else f"{record['n_results']}"
             )
-            print(
+            line = (
                 f"{record['signature'][:16]}  {scheme:24s} "
                 f"{progress:>9s} networks  {record['bytes']:>10d} bytes"
             )
+            if args.timings:
+                if record["seconds_total"] is not None:
+                    line += (
+                        f"  {record['seconds_total']:>9.2f}s total "
+                        f"{record['seconds_mean']:>8.3f}s mean"
+                    )
+                else:
+                    line += "  <no timings>"
+            print(line)
         return 0
 
     keep = None
@@ -519,6 +542,16 @@ def main(argv=None) -> int:
         default=1,
         help="shard evaluation tasks across this many processes (results "
         "identical); multi-call figures run their whole grid on one pool",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("interleave", "lpt"),
+        default="interleave",
+        help="task scheduling policy: 'interleave' (round-robin across "
+        "streams, the default) or 'lpt' (longest-predicted-first "
+        "ordering and makespan-balanced dispatch shards; replays "
+        "measured timings from --store-dir when available).  Results "
+        "are identical either way",
     )
     parser.add_argument(
         "--cache-dir",
@@ -592,6 +625,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="store gc: keep only the signature of the workload described "
         "by --networks/--tms/--seed, prune the rest",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="store ls: add a per-stream column with total/mean stored "
+        "evaluation seconds (the timings the 'lpt' schedule replays)",
     )
     args = parser.parse_args(argv)
     args.store_only = False

@@ -19,11 +19,18 @@ same manifest/worker/merge machinery a cluster run would.
 Manifests come in two versions: version 1 carries one scheme over one
 workload (the classic ``dispatch <scheme>`` cycle), version 2 carries an
 entire :class:`~repro.experiments.plan.EvalPlan` shard — a stream table
-(spec + signature per stream) plus a flat task list drawn round-robin
-from *all* streams, so every worker gets a balanced mix of schemes and
-sweep points rather than one scheme's heaviest networks.  The merge is
-version-blind either way: worker stores are just (signature, scheme)
-streams, deduplicated by network index.
+(spec + signature per stream) plus a flat task list, so every worker
+gets a mix of schemes and sweep points rather than one scheme's
+heaviest networks.  How work is split across shards is a scheduling
+choice: the default cuts equal-*count* shards (version 1 stripes
+indices round-robin; version 2 chunks the interleaved task order), and
+a cost-aware scheduler (``--schedule lpt``) instead balances predicted
+*makespan* — greedy LPT bin-packing over the cost model's per-task
+predictions (:mod:`repro.experiments.cost`), so one worker is never
+handed all the heavy LP solves.  The merge is version-blind and
+order-blind either way: worker stores are just (signature, scheme)
+streams, deduplicated by network index, so any partitioning yields the
+same merged store.
 
 Determinism
 -----------
@@ -53,10 +60,19 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.experiments.engine import ExperimentEngine, NetworkResult
-from repro.experiments.plan import EvalPlan, EvalTask, PlanReport
+from repro.experiments.plan import (
+    EvalPlan,
+    EvalTask,
+    InterleaveScheduler,
+    PlanReport,
+    Scheduler,
+)
+
+if TYPE_CHECKING:
+    from repro.experiments.cost import CostModel
 from repro.experiments.spec import SchemeSpec, is_spawn_safe
 from repro.experiments.store import (
     ResultStore,
@@ -86,9 +102,17 @@ class DispatchError(StoreError):
 def shard_indices(n_networks: int, n_shards: int) -> List[List[int]]:
     """Stripe workload indices across shards (round-robin).
 
-    Striping balances better than contiguous chunks when network size
+    This is the **version-1** (single-scheme) default partitioning only:
+    striping balances better than contiguous chunks when network size
     correlates with position (the zoo generator tends to emit similar
-    sizes in runs); every index appears in exactly one shard.
+    sizes in runs), and every index appears in exactly one shard.
+    Version-2 whole-plan manifests do NOT use it — their flat task list
+    is already interleaved across streams, so
+    :func:`write_plan_manifests` cuts contiguous chunks of that order
+    (stride striping there would resonate with the stream count).  Both
+    paths switch to cost-balanced LPT bin-packing when given a
+    cost-aware scheduler; see :func:`write_shard_manifests` and
+    :func:`write_plan_manifests`.
     """
     if n_shards < 1:
         raise ValueError(f"need at least one shard, got {n_shards}")
@@ -149,19 +173,39 @@ def write_shard_manifests(
     out_dir: "os.PathLike[str] | str",
     scheme: Optional[str] = None,
     matrices_per_network: Optional[int] = None,
+    cost_model: Optional["CostModel"] = None,
 ) -> List[Path]:
     """Split a workload into shard manifest files under ``out_dir``.
 
     ``scheme`` names the result-store stream (defaults to the spec's
     registry name); the signature stored in every manifest is the *full*
-    workload's, so all shards append into one mergeable key.
+    workload's, so all shards append into one mergeable key.  Without a
+    ``cost_model`` indices are striped round-robin
+    (:func:`shard_indices`); with one, shards are balanced by greedy
+    LPT bin-packing over predicted per-network costs, so no worker is
+    handed all the heavy networks.
     """
     scheme = scheme or spec.scheme
     signature = workload_signature(workload, matrices_per_network)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     paths: List[Path] = []
-    shards = shard_indices(len(workload.networks), n_shards)
+    if cost_model is not None and workload.networks:
+        from repro.experiments.cost import lpt_partition
+
+        indices = list(range(len(workload.networks)))
+        costs = [
+            cost_model.predict_item(
+                spec,
+                workload.networks[i],
+                n_matrices=matrices_per_network,
+                scheme=scheme,
+            )
+            for i in indices
+        ]
+        shards = lpt_partition(indices, costs, n_shards)
+    else:
+        shards = shard_indices(len(workload.networks), n_shards)
     for shard_index, indices in enumerate(shards):
         manifest = build_manifest(
             spec,
@@ -279,33 +323,34 @@ def write_plan_manifests(
     plan: EvalPlan,
     n_shards: int,
     out_dir: "os.PathLike[str] | str",
+    scheduler: Optional[Scheduler] = None,
 ) -> List[Path]:
     """Split a whole plan into shard manifest files under ``out_dir``.
 
-    Tasks are drawn from :meth:`EvalPlan.tasks` (round-robin interleaved
-    across streams) and split into contiguous, equal-size chunks of that
-    interleaved order, so every worker receives a balanced mix of *all*
+    Partitioning is the scheduler's :meth:`~repro.experiments.plan.
+    Scheduler.partition` policy.  The default (round-robin interleave)
+    splits :meth:`EvalPlan.tasks` into contiguous, equal-size chunks of
+    the interleaved order, so every worker receives a mix of *all*
     schemes and sweep points.  (Stride striping would resonate with the
     stream count — with 4 schemes and 2 shards, every other task is the
     same two schemes — whereas a contiguous chunk of a round-robin list
-    cycles through every stream.)  Every stream's signature is the full
+    cycles through every stream.)  A cost-aware scheduler
+    (:class:`~repro.experiments.cost.LptScheduler`) instead balances
+    shards by predicted makespan: greedy LPT bin-packing, heaviest task
+    onto the lightest shard, each shard internally ordered
+    longest-first.  Either way every stream's signature is the full
     workload's, so all shards append into the same mergeable store keys
-    the in-process plan run would use.
+    the in-process plan run would use — partitioning never changes the
+    merged results.
     """
     if n_shards < 1:
         raise ValueError(f"need at least one shard, got {n_shards}")
-    tasks = plan.tasks()
+    if scheduler is None:
+        scheduler = InterleaveScheduler()
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     paths: List[Path] = []
-    n_effective = min(n_shards, max(len(tasks), 1))
-    base, extra = divmod(len(tasks), n_effective)
-    shards = []
-    position = 0
-    for shard in range(n_effective):
-        size = base + (1 if shard < extra else 0)
-        shards.append(tasks[position:position + size])
-        position += size
+    shards = scheduler.partition(plan, n_shards)
     for shard_index, shard_tasks in enumerate(shards):
         manifest = build_plan_manifest(
             plan,
@@ -635,6 +680,7 @@ def dispatch_run(
     cache_max_paths: Optional[int] = None,
     resume: bool = True,
     verify: bool = False,
+    scheduler: "str | Scheduler | None" = None,
 ) -> List:
     """Shard, run workers as subprocesses, merge, and serve the results.
 
@@ -644,6 +690,12 @@ def dispatch_run(
     appending to its own store directory), merge the worker stores into
     ``store_dir``, and return the outcomes served from the merged store —
     in workload order, equal to what a serial in-process run returns.
+
+    ``scheduler`` picks the shard partitioning: the default stripes
+    indices round-robin; a cost-aware scheduler (``"lpt"``, resolving
+    its cost model against ``store_dir`` so previously measured
+    timings replay) balances shards by predicted makespan instead.
+    Partitioning never changes the merged, served results.
 
     ``resume=False`` discards the main store's existing stream for this
     (workload, scheme) before merging, so the freshly dispatched results
@@ -656,7 +708,10 @@ def dispatch_run(
     tests and smoke checks, since it obviously re-pays the whole
     evaluation cost.
     """
+    from repro.experiments.cost import make_scheduler
+
     scheme = scheme or spec.scheme
+    resolved = make_scheduler(scheduler, store_dir=store_dir)
     own_work_dir = None
     if work_dir is None:
         own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")
@@ -670,6 +725,7 @@ def dispatch_run(
             work / "manifests",
             scheme=scheme,
             matrices_per_network=matrices_per_network,
+            cost_model=getattr(resolved, "cost_model", None),
         )
         worker_stores = _run_shard_workers(
             manifests, work, cache_dir, cache_max_paths
@@ -714,30 +770,40 @@ def dispatch_plan(
     cache_max_paths: Optional[int] = None,
     resume: bool = True,
     verify: bool = False,
+    scheduler: "str | Scheduler | None" = None,
 ) -> PlanReport:
     """Shard a whole evaluation plan across worker subprocesses and merge.
 
     The multi-scheme analogue of :func:`dispatch_run`: the plan's flat
     task list — every (scheme, sweep point, network) cell of a figure —
-    is striped round-robin across ``n_shards`` manifests, so each worker
-    evaluates a balanced mix of *all* streams.  Worker stores merge back
-    into ``store_dir`` with the usual idempotent, conflict-checked
-    (signature, scheme, index) dedup, and the merged store then serves
-    the full :class:`~repro.experiments.plan.PlanReport` — equal to what
-    an in-process :func:`~repro.experiments.plan.execute_plan` run
-    returns (``verify=True`` asserts exactly that).
+    is partitioned across ``n_shards`` manifests by the ``scheduler``
+    (default: contiguous chunks of the round-robin interleave, so each
+    worker evaluates a mix of *all* streams; ``"lpt"`` balances shards
+    by predicted makespan, replaying learned timings from
+    ``store_dir``).  Worker stores merge back into ``store_dir`` with
+    the usual idempotent, conflict-checked (signature, scheme, index)
+    dedup, and the merged store then serves the full
+    :class:`~repro.experiments.plan.PlanReport` — equal to what an
+    in-process :func:`~repro.experiments.plan.execute_plan` run
+    returns regardless of partitioning (``verify=True`` asserts exactly
+    that).
 
     ``resume=False`` resets every stream of the plan in the main store
     before merging, and only after every worker succeeded — a failed
     dispatch never destroys existing results.
     """
+    from repro.experiments.cost import make_scheduler
+
+    resolved = make_scheduler(scheduler, store_dir=store_dir)
     own_work_dir = None
     if work_dir is None:
         own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")
         work_dir = own_work_dir.name
     work = Path(work_dir)
     try:
-        manifests = write_plan_manifests(plan, n_shards, work / "manifests")
+        manifests = write_plan_manifests(
+            plan, n_shards, work / "manifests", scheduler=resolved
+        )
         worker_stores = _run_shard_workers(
             manifests, work, cache_dir, cache_max_paths
         )

@@ -13,10 +13,13 @@ between runs via :meth:`KspCache.dump` / :meth:`KspCache.load`.
 The unit of execution is an :class:`~repro.experiments.plan.EvalPlan`: a
 flat batch of (stream, network-index) tasks spanning every scheme and
 sweep point of a figure.  :meth:`ExperimentEngine.run_plan` executes an
-entire plan on **one** process pool, interleaving tasks from different
-streams; the classic single-scheme entry points (:meth:`run`,
-:meth:`stream`) are one-stream plans, so both paths share one execution
-spine and one determinism contract.
+entire plan on **one** process pool, sequencing tasks through a
+pluggable :class:`~repro.experiments.plan.Scheduler` (round-robin
+interleave by default; cost-aware longest-first via
+:class:`~repro.experiments.cost.LptScheduler`); the classic
+single-scheme entry points (:meth:`run`, :meth:`stream`) are one-stream
+plans, so both paths share one execution spine and one determinism
+contract.
 
 Sharding/determinism contract
 -----------------------------
@@ -28,10 +31,11 @@ Sharding/determinism contract
   workload item and scheme factory.  (Warm KSP-cache state affects only
   timing, never results.)
 * Consequently plan execution returns **bit-identical** outcome lists
-  for any ``n_workers`` — and bit-identical to running each stream
-  through a separate ``evaluate_scheme`` call, which is why the figure
-  layer could move from per-(scheme, sweep-point) calls to whole-figure
-  plans without changing a single output.
+  for any ``n_workers`` *and any task order* (schedulers sequence, they
+  never re-shard) — and bit-identical to running each stream through a
+  separate ``evaluate_scheme`` call, which is why the figure layer
+  could move from per-(scheme, sweep-point) calls to whole-figure plans
+  without changing a single output.
 * Worker processes prefer the ``fork`` start method so that scheme
   factories (possibly closures) and workloads never need to be pickled;
   only (stream key, network index) tasks travel to the workers and only
@@ -78,10 +82,16 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import multiprocessing
 
-from repro.experiments.plan import EvalPlan, EvalTask, PlanReport
+from repro.experiments.plan import (
+    EvalPlan,
+    EvalTask,
+    InterleaveScheduler,
+    PlanReport,
+    Scheduler,
+)
 from repro.experiments.runner import SchemeOutcome
 from repro.experiments.workloads import NetworkWorkload, ZooWorkload
-from repro.net.paths import KspCache, ksp_cache_path
+from repro.net.paths import KspCache, ksp_cache_path, network_signature
 from repro.routing.base import RoutingScheme
 
 SchemeFactory = Callable[[NetworkWorkload], RoutingScheme]
@@ -117,6 +127,12 @@ class NetworkResult:
     #: KSP paths already materialized before evaluation started — nonzero
     #: means the persistent cache produced a warm start.
     paths_preloaded: int = 0
+    #: Content hash of the evaluated network
+    #: (:func:`repro.net.paths.network_signature`).  Persisted with the
+    #: result so the cost model can replay measured ``seconds`` for the
+    #: same network under any workload; empty on records written before
+    #: signatures were stored.
+    network_signature: str = ""
 
 
 @dataclass
@@ -135,7 +151,7 @@ class EngineReport:
         """Sum of per-network evaluation times (CPU-side, not wall clock)."""
         return sum(result.seconds for result in self.results)
 
-    def timings(self) -> List[tuple]:
+    def timings(self) -> List[Tuple[str, float]]:
         """(network_id, seconds) pairs, workload order."""
         return [(r.network_id, r.seconds) for r in self.results]
 
@@ -153,7 +169,12 @@ class ExperimentEngine:
     streams first), and ``store_only`` forbids evaluation altogether —
     missing results raise
     :class:`~repro.experiments.store.StoreMissError` instead of being
-    computed.  See the module docstring for the full contract.
+    computed.  ``scheduler`` picks the default task sequencing policy
+    for plan runs — a :class:`~repro.experiments.plan.Scheduler`, a
+    schedule name (``"interleave"``/``"lpt"``) or ``None`` for the
+    round-robin default; :meth:`run_plan`/:meth:`stream_plan` accept a
+    per-call override.  Sequencing never changes results.  See the
+    module docstring for the full contract.
     """
 
     def __init__(
@@ -164,6 +185,7 @@ class ExperimentEngine:
         resume: bool = True,
         store_only: bool = False,
         cache_max_paths: Optional[int] = None,
+        scheduler: "str | Scheduler | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -175,6 +197,22 @@ class ExperimentEngine:
         self.resume = resume
         self.store_only = store_only
         self.cache_max_paths = cache_max_paths
+        self.scheduler = scheduler
+
+    def _resolve_scheduler(
+        self, override: "str | Scheduler | None" = None
+    ) -> Scheduler:
+        """The scheduler a plan run uses: override, engine default, or
+        round-robin.  Names resolve through the cost layer so ``"lpt"``
+        replays learned timings from this engine's store."""
+        choice = override if override is not None else self.scheduler
+        if choice is None:
+            return InterleaveScheduler()
+        if isinstance(choice, Scheduler):
+            return choice
+        from repro.experiments.cost import make_scheduler
+
+        return make_scheduler(choice, store_dir=self.store_dir)
 
     # ------------------------------------------------------------------
     # Single-scheme entry points (one-stream plans)
@@ -225,38 +263,58 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     # Plan entry points
     # ------------------------------------------------------------------
-    def run_plan(self, plan: EvalPlan) -> PlanReport:
-        """Execute a whole plan; per-stream results in workload order."""
+    def run_plan(
+        self,
+        plan: EvalPlan,
+        scheduler: "str | Scheduler | None" = None,
+    ) -> PlanReport:
+        """Execute a whole plan; per-stream results in workload order.
+
+        ``scheduler`` overrides the engine's default sequencing policy
+        for this run.  When the scheduler is cost-aware its per-task
+        predictions are recorded in :attr:`PlanReport.predicted`, next
+        to the measured per-task ``seconds`` on each result —
+        :meth:`PlanReport.cost_report` joins the two.
+        """
+        resolved = self._resolve_scheduler(scheduler)
         collected: Dict[Hashable, Dict[int, NetworkResult]] = {
             key: {} for key in plan.streams
         }
-        for key, result in self.stream_plan(plan):
+        for key, result in self.stream_plan(plan, resolved):
             collected[key][result.index] = result
+        predicted: Dict[Hashable, Dict[int, float]] = {}
+        for (key, index), cost in resolved.predictions(plan).items():
+            predicted.setdefault(key, {})[index] = cost
         return PlanReport(
             results={
                 key: [collected[key][i] for i in sorted(collected[key])]
                 for key in plan.streams
-            }
+            },
+            predicted=predicted,
         )
 
     def stream_plan(
-        self, plan: EvalPlan
+        self,
+        plan: EvalPlan,
+        scheduler: "str | Scheduler | None" = None,
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         """Yield ``(stream key, result)`` pairs as tasks complete.
 
         Store-backed runs yield each stream's stored results first (in
         index order, stream by stream), then freshly evaluated tasks in
-        completion order.  The whole plan runs on one process pool.
+        completion order.  The whole plan runs on one process pool;
+        ``scheduler`` decides the order tasks are handed to it.
         """
         if not plan.streams:
             return iter(())
+        resolved = self._resolve_scheduler(scheduler)
         if self.store_dir is not None:
-            return self._stream_plan_stored(plan)
-        return self._stream_plan_fresh(plan, plan.tasks())
+            return self._stream_plan_stored(plan, resolved)
+        return self._stream_plan_fresh(plan, plan.tasks(scheduler=resolved))
 
     # ------------------------------------------------------------------
     def _stream_plan_stored(
-        self, plan: EvalPlan
+        self, plan: EvalPlan, scheduler: Scheduler
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         """Serve stored results, evaluate (and append) only the rest."""
         from repro.experiments.store import (
@@ -308,7 +366,7 @@ class ExperimentEngine:
                     yield key, valid[index]
                 missing[key] = [i for i in range(total) if i not in valid]
             for key, result in self._stream_plan_fresh(
-                plan, plan.tasks(indices=missing)
+                plan, plan.tasks(indices=missing, scheduler=scheduler)
             ):
                 writer.append(key, result)
                 yield key, result
@@ -516,6 +574,7 @@ class ExperimentEngine:
             outcomes=outcomes,
             seconds=seconds,
             paths_preloaded=preloaded,
+            network_signature=network_signature(item.network),
         )
 
     def _cache_path(self, item: NetworkWorkload) -> Optional[str]:

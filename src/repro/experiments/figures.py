@@ -264,6 +264,10 @@ def fig08_plan(
             SchemeSpec("LDR", {"headroom": headroom}),
             workload,
             scheme=f"LDR@h={headroom!r}",
+            # Headroom shrinks effective capacity, so the LP needs more
+            # paths (and iterations) to fit the same traffic — invisible
+            # to the static cost predictor, hence the hint.
+            cost_hint=1.0 + headroom,
         )
     return plan
 
@@ -428,6 +432,9 @@ def fig16_plan(
                 factory,
                 subset,
                 scheme=f"{name}@h={headroom!r}",
+                # Headroom tightens capacity without changing topology —
+                # hint the cost predictor (see fig08_plan).
+                cost_hint=1.0 + headroom,
             )
     return plan
 
@@ -506,6 +513,10 @@ def fig17_plan(
                 factory,
                 workload,
                 scheme=f"{name}@load={load!r}",
+                # Matrices are rescaled per load, so every sweep point
+                # has the same static shape; higher load means links run
+                # nearer capacity and LP solvers iterate more.
+                cost_hint=load,
             )
     return plan
 

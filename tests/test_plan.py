@@ -20,7 +20,7 @@ from repro.experiments.figures import (
     fig20_plan,
     scheme_factories,
 )
-from repro.experiments.plan import EvalPlan, EvalTask, execute_plan
+from repro.experiments.plan import EvalPlan, EvalTask, Scheduler, execute_plan
 from repro.experiments.runner import evaluate_scheme
 from repro.experiments.spec import SchemeSpec
 from repro.experiments.workloads import (
@@ -173,6 +173,133 @@ class TestEvalPlanApi:
         )
         report = execute_plan(plan, n_workers=2)
         assert report.all_outcomes() == per_call_reference(plan)
+
+
+class ReversedScheduler(Scheduler):
+    """Adversarial permutation: the interleave order, backwards."""
+
+    name = "reversed"
+
+    def order(self, plan, per_stream):
+        from repro.experiments.plan import InterleaveScheduler
+
+        return list(reversed(InterleaveScheduler().order(plan, per_stream)))
+
+
+class ShuffledScheduler(Scheduler):
+    """Adversarial permutation: seeded shuffle of the flat task list."""
+
+    name = "shuffled"
+
+    def __init__(self, seed=1234):
+        self.seed = seed
+
+    def order(self, plan, per_stream):
+        flat = [task for tasks in per_stream for task in tasks]
+        rng = np.random.default_rng(self.seed)
+        return [flat[i] for i in rng.permutation(len(flat))]
+
+
+# The schedule shapes any permutation must survive: the round-robin
+# default, cost-aware LPT, and two adversarial orders plugged in as
+# custom Scheduler subclasses.
+def _all_schedulers():
+    from repro.experiments.cost import make_scheduler
+
+    return {
+        "interleave": make_scheduler("interleave"),
+        "lpt": make_scheduler("lpt"),
+        "reversed": ReversedScheduler(),
+        "shuffled": ShuffledScheduler(),
+    }
+
+
+class TestOrderInvariance:
+    """Property: ANY task permutation yields bit-identical keyed results.
+
+    The cost-aware scheduling contract: schedulers sequence, they never
+    re-shard — so round-robin, LPT, reversed and shuffled orders all
+    produce the same keyed :class:`PlanReport` contents at any worker
+    count, on fork and spawn pools alike.
+    """
+
+    @pytest.fixture(scope="class")
+    def invariance_plan(self, workload):
+        plan = EvalPlan()
+        plan.add("SP", SchemeSpec("SP"), workload)
+        plan.add("ECMP", SchemeSpec("ECMP"), workload)
+        return plan
+
+    @pytest.fixture(scope="class")
+    def invariance_reference(self, invariance_plan):
+        return per_call_reference(invariance_plan)
+
+    def test_every_scheduler_permutes_the_same_task_set(
+        self, invariance_plan
+    ):
+        baseline = {
+            (t.stream, t.index) for t in invariance_plan.tasks()
+        }
+        for name, scheduler in _all_schedulers().items():
+            tasks = invariance_plan.tasks(scheduler=scheduler)
+            assert {(t.stream, t.index) for t in tasks} == baseline, name
+            assert len(tasks) == len(baseline), name
+
+    @pytest.mark.parametrize("sched", ["interleave", "lpt", "reversed",
+                                       "shuffled"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fork_pool(
+        self, invariance_plan, invariance_reference, sched, workers
+    ):
+        report = execute_plan(
+            invariance_plan,
+            n_workers=workers,
+            scheduler=_all_schedulers()[sched],
+        )
+        assert report.all_outcomes() == invariance_reference
+
+    @pytest.mark.parametrize("sched", ["interleave", "lpt", "reversed",
+                                       "shuffled"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_spawn_pool(
+        self,
+        invariance_plan,
+        invariance_reference,
+        sched,
+        workers,
+        monkeypatch,
+    ):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        report = execute_plan(
+            invariance_plan,
+            n_workers=workers,
+            scheduler=_all_schedulers()[sched],
+        )
+        assert report.all_outcomes() == invariance_reference
+
+    @pytest.mark.parametrize("sched", ["lpt", "reversed"])
+    def test_store_resume_under_permuted_order(
+        self, invariance_plan, invariance_reference, sched, tmp_path
+    ):
+        # Kill a permuted run mid-plan, resume under the same permuted
+        # order: stored-first serving + per-stream resume must still
+        # reassemble the exact keyed results.
+        engine = ExperimentEngine(
+            n_workers=1, store_dir=tmp_path, scheduler=_all_schedulers()[sched]
+        )
+        stream = engine.stream_plan(invariance_plan)
+        for _ in range(3):
+            next(stream)
+        stream.close()
+
+        resumed = execute_plan(
+            invariance_plan,
+            store_dir=tmp_path,
+            scheduler=_all_schedulers()[sched],
+        )
+        assert resumed.all_outcomes() == invariance_reference
 
 
 class CountingFactory:

@@ -453,6 +453,30 @@ class TestLifecycleTooling:
         assert main(["store", "gc", "--store-dir", str(tmp_path)]) == 2
         assert "refusing" in capsys.readouterr().err
 
+    def test_cli_ls_timings_column(self, workload, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        signature = self.populate(tmp_path, workload)
+        assert main(
+            ["store", "ls", "--store-dir", str(tmp_path), "--timings"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert signature[:16] in out
+        assert "s total" in out and "s mean" in out
+
+    def test_cli_ls_timings_tolerates_headerless_stream(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        broken = tmp_path / "deadbeef"
+        broken.mkdir()
+        (broken / "SP.jsonl").write_text("{}\n")
+        assert main(
+            ["store", "ls", "--store-dir", str(tmp_path), "--timings"]
+        ) == 0
+        assert "<no timings>" in capsys.readouterr().out
+
     def test_cli_gc_match_workload(self, workload, tmp_path, capsys):
         from repro.experiments.__main__ import main
 
@@ -471,3 +495,101 @@ class TestLifecycleTooling:
         capsys.readouterr()
         assert not stale.exists()
         assert list(tmp_path.glob("*/SP.jsonl"))
+
+
+class TestTimingReplay:
+    """The store's timing facet: what cost-aware scheduling replays."""
+
+    def populate(self, store_dir, workload):
+        engine = ExperimentEngine(n_workers=1, store_dir=store_dir)
+        results = list(
+            engine.stream(
+                lambda item: ShortestPathRouting(item.cache),
+                workload,
+                scheme="SP",
+            )
+        )
+        return workload_signature(workload), sorted(
+            results, key=lambda r: r.index
+        )
+
+    def test_stream_timings_match_stored_results(self, workload, tmp_path):
+        signature, results = self.populate(tmp_path, workload)
+        timings = ResultStore(tmp_path).stream_timings(signature, "SP")
+        assert [t.index for t in timings] == [r.index for r in results]
+        assert [t.seconds for t in timings] == [r.seconds for r in results]
+        assert [t.network_id for t in timings] == [
+            r.network_id for r in results
+        ]
+
+    def test_network_signature_round_trips(self, workload, tmp_path):
+        from repro.net.paths import network_signature
+
+        signature, results = self.populate(tmp_path, workload)
+        # Fresh results carry the content hash...
+        expected = [
+            network_signature(item.network) for item in workload.networks
+        ]
+        assert [r.network_signature for r in results] == expected
+        # ...and both readers round-trip it from disk.
+        stored = ResultStore(tmp_path).load_results(signature, "SP")
+        assert [stored[i].network_signature for i in sorted(stored)] \
+            == expected
+        timings = ResultStore(tmp_path).stream_timings(signature, "SP")
+        assert [t.network_signature for t in timings] == expected
+
+    def test_pre_signature_records_replay_as_unknown(
+        self, workload, tmp_path
+    ):
+        # Streams written before network signatures existed lack the
+        # field; timings still parse, with an empty signature.
+        signature, _ = self.populate(tmp_path, workload)
+        store = ResultStore(tmp_path)
+        path = store.stream_path(signature, "SP")
+        lines = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("network_signature", None)
+            lines.append(json.dumps(record, separators=(",", ":")))
+        path.write_text("\n".join(lines) + "\n")
+        timings = store.stream_timings(signature, "SP")
+        assert len(timings) == len(workload.networks)
+        assert all(t.network_signature == "" for t in timings)
+        assert all(t.seconds >= 0.0 for t in timings)
+
+    def test_stream_timings_missing_stream_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path).stream_timings("0" * 64, "SP") == []
+
+    def test_stream_timings_rejects_mismatched_header(
+        self, workload, tmp_path
+    ):
+        import shutil
+
+        signature, _ = self.populate(tmp_path, workload)
+        store = ResultStore(tmp_path)
+        moved_dir = tmp_path / ("f" * len(signature))
+        moved_dir.mkdir()
+        shutil.copy(
+            store.stream_path(signature, "SP"), moved_dir / "SP.jsonl"
+        )
+        with pytest.raises(StoreMismatchError):
+            store.stream_timings("f" * len(signature), "SP")
+
+    def test_iter_timings_skips_invalid_streams(self, workload, tmp_path):
+        signature, _ = self.populate(tmp_path, workload)
+        broken = tmp_path / "deadbeef"
+        broken.mkdir()
+        (broken / "SP.jsonl").write_text("not json\n")
+        streams = list(ResultStore(tmp_path).iter_timings())
+        assert [(s, scheme) for s, scheme, _ in streams] \
+            == [(signature, "SP")]
+        assert len(streams[0][2]) == len(workload.networks)
+
+    def test_iter_timings_truncates_at_torn_tail(self, workload, tmp_path):
+        signature, _ = self.populate(tmp_path, workload)
+        path = ResultStore(tmp_path).stream_path(signature, "SP")
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "index": 99, "secon')
+        _, _, timings = next(iter(ResultStore(tmp_path).iter_timings()))
+        assert [t.index for t in timings] \
+            == list(range(len(workload.networks)))
