@@ -1,0 +1,91 @@
+"""Baseline files: ship the linter strict without blocking on legacy.
+
+A baseline is a committed JSON file of finding fingerprints
+(:func:`repro.analysis.base.fingerprint`: rule + path + stripped source
+line, deliberately line-number-free so edits elsewhere in a file do not
+churn it).  The CLI subtracts baselined findings before gating, so a
+newly added rule can land with its legacy findings recorded — CI stays
+green — while every *new* violation still fails.  The workflow:
+
+1. ``python -m repro.analysis --write-baseline analysis-baseline.json``
+   records today's findings.
+2. Commit the baseline; CI runs with ``--baseline``.
+3. Burn the baseline down; this repo's is empty and must stay so.
+
+Duplicate findings (same rule, file and source text on two lines) are
+baselined by *count*: the file stores how many occurrences are
+tolerated, so adding one more of an already-baselined violation still
+fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Finding, fingerprint
+
+BASELINE_FORMAT = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is unreadable or structurally invalid."""
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    counts = Counter(fingerprint(f) for f in findings)
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != BASELINE_FORMAT
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a format-{BASELINE_FORMAT} "
+            f"analysis baseline"
+        )
+    findings = payload["findings"]
+    for key, count in findings.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {key!r}: {count!r}"
+            )
+    return dict(findings)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Each baseline entry absorbs up to its recorded count of matching
+    findings; everything beyond that — more duplicates than baselined,
+    or a fingerprint the baseline has never seen — stays live.
+    """
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -204,7 +204,11 @@ class LdrController:
             for pair in to_scale:
                 scaling[pair] *= self.config.scale_up
 
-        assert result is not None
+        if result is None:
+            raise RuntimeError(
+                "LDR multiplexing loop completed without an LP solve; "
+                "max_rounds must be >= 1"
+            )
         placement = Placement(
             self.network, normalize_allocations(result.fractions)
         )

@@ -43,7 +43,18 @@ reports (property-tested in ``tests/test_plan.py``).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.experiments.plan import (
     EvalPlan,
@@ -53,6 +64,9 @@ from repro.experiments.plan import (
     Scheduler,
 )
 from repro.experiments.workloads import NetworkWorkload
+
+if TYPE_CHECKING:  # runtime import stays lazy (see replay_timings)
+    from repro.experiments.store import TaskTiming
 
 #: Relative cost of one (network, matrix) evaluation per scheme class,
 #: anchored at shortest-path = 1.  LP-backed schemes (MinMax, LDR, the
@@ -179,10 +193,11 @@ class CostModel:
         from repro.net.paths import network_signature
 
         network = item.network
-        signature = getattr(network, "_cost_signature_memo", None)
-        if signature is None:
-            signature = network_signature(network)
-            network._cost_signature_memo = signature
+        memo = getattr(network, "_cost_signature_memo", None)
+        if isinstance(memo, str):
+            return memo
+        signature = network_signature(network)
+        setattr(network, "_cost_signature_memo", signature)
         return signature
 
     # ------------------------------------------------------------------
@@ -219,7 +234,10 @@ class CostModel:
             if learned is not None:
                 return learned
         name = scheme_class(factory)
-        weight = SCHEME_WEIGHTS.get(name, DEFAULT_SCHEME_WEIGHT)
+        if name is None:
+            weight = DEFAULT_SCHEME_WEIGHT
+        else:
+            weight = SCHEME_WEIGHTS.get(name, DEFAULT_SCHEME_WEIGHT)
         return static_task_cost(item, n_matrices, weight, cost_hint)
 
 
@@ -364,7 +382,9 @@ def make_scheduler(
     return factory(store_dir=store_dir)
 
 
-def replay_timings(store_dir: object):
+def replay_timings(
+    store_dir: object,
+) -> "Iterator[Tuple[str, str, List[TaskTiming]]]":
     """Iterate every store stream's timing records (the replay reader).
 
     Thin indirection over

@@ -102,17 +102,21 @@ class SchemeSpec:
     def __call__(self, item: NetworkWorkload) -> RoutingScheme:
         return build_scheme(self, item)
 
-    def to_jsonable(self) -> dict:
+    def to_jsonable(self) -> Dict[str, object]:
         """A JSON-native dict; inverse of :meth:`from_jsonable`."""
         return {"scheme": self.scheme, "params": dict(self.params)}
 
     @classmethod
-    def from_jsonable(cls, payload: Mapping) -> "SchemeSpec":
+    def from_jsonable(cls, payload: Mapping[str, object]) -> "SchemeSpec":
         if "scheme" not in payload:
             raise ValueError(f"scheme spec payload without 'scheme': {payload!r}")
-        return cls(
-            scheme=payload["scheme"], params=dict(payload.get("params", {}))
-        )
+        scheme = payload["scheme"]
+        if not isinstance(scheme, str):
+            raise ValueError(f"scheme name must be a string, got {scheme!r}")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError(f"scheme params must be a mapping, got {params!r}")
+        return cls(scheme=scheme, params=dict(params))
 
 
 def build_scheme(spec: SchemeSpec, item: NetworkWorkload) -> RoutingScheme:

@@ -75,7 +75,10 @@ def _bfs_augmenting(
     queue = deque([src])
     while queue:
         node = queue.popleft()
-        for nbr in adjacency[node]:
+        # Sorted traversal: the BFS parent (and hence the augmenting path)
+        # must not depend on set hash order, or max-flow decompositions
+        # differ across PYTHONHASHSEED values.
+        for nbr in sorted(adjacency[node]):
             if nbr in visited:
                 continue
             if residual.get((node, nbr), 0.0) <= 1e-9:

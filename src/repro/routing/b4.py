@@ -152,7 +152,11 @@ class B4Routing(RoutingScheme):
             # Count how many active aggregates currently traverse each link.
             users: Dict[Tuple[str, str], int] = {}
             for state in active:
-                assert state.current_path is not None
+                if state.current_path is None:
+                    raise RuntimeError(
+                        "active aggregate lost its current path; _advance "
+                        "must run before each water-filling step"
+                    )
                 for key in path_links(state.current_path):
                     users[key] = users.get(key, 0) + 1
 
@@ -165,7 +169,11 @@ class B4Routing(RoutingScheme):
             if step > RATE_EPSILON_BPS:
                 for state in active:
                     path = state.current_path
-                    assert path is not None
+                    if path is None:
+                        raise RuntimeError(
+                            "active aggregate lost its current path "
+                            "mid-step; the users census above requires one"
+                        )
                     state.placed[path] = state.placed.get(path, 0.0) + step
                     state.remaining_bps -= step
                     for key in path_links(path):
@@ -177,7 +185,11 @@ class B4Routing(RoutingScheme):
                 if state.remaining_bps <= RATE_EPSILON_BPS:
                     continue
                 path = state.current_path
-                assert path is not None
+                if path is None:
+                    raise RuntimeError(
+                        "active aggregate lost its current path after "
+                        "filling; saturation can only advance, not clear it"
+                    )
                 if any(residual[key] <= RATE_EPSILON_BPS for key in path_links(path)):
                     self._advance(state, residual, cache)
                     advanced_any = True

@@ -215,7 +215,11 @@ class MinMaxRouting(RoutingScheme):
         """
         from repro.net.paths import path_delay_s
 
-        assert self.stretch_bound is not None
+        if self.stretch_bound is None:
+            raise RuntimeError(
+                "_paths_within_stretch requires a stretch_bound; "
+                "the k/stretch dispatch in place() is out of sync"
+            )
         network = cache.network
         shortest = cache.shortest(agg.src, agg.dst)
         budget = path_delay_s(network, shortest) * self.stretch_bound

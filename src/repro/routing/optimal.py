@@ -198,7 +198,11 @@ def solve_iterative_latency(
                 grew |= add_detour_paths(network, path_sets, crossing, overloaded)
             if not grew:
                 break
-    assert result is not None
+    if result is None:
+        raise RuntimeError(
+            "iterative solve completed without an LP solve; "
+            "max_iterations must be >= 1"
+        )
     if warm_counts is not None:
         for agg, count in target_counts.items():
             warm_counts[agg.pair] = count
