@@ -13,7 +13,13 @@ severity.  The plumbing here keeps the passes small:
   ``# analysis: allow`` (any rule) or ``# analysis: allow[D102]``
   (one rule) never produces a finding.  This is the allowlist mechanism
   for *intentional* nondeterminism — e.g. the wall-clock read that
-  ``store gc --max-age-days`` fundamentally needs.
+  ``store gc --max-age-days`` fundamentally needs.  A module whose first
+  non-code lines (before any statement past the docstring) contain
+  ``# analysis: allow-module[D102]`` suppresses the listed rules for the
+  whole file — for modules like :mod:`repro.experiments.telemetry` whose
+  entire purpose is the sanctioned exception, declared once at the top
+  instead of per line.  ``allow-module`` always names rules explicitly;
+  there is deliberately no blanket whole-file opt-out.
 * :func:`fingerprint` gives findings a line-number-free identity, so a
   committed baseline survives unrelated edits above a legacy finding.
 """
@@ -80,7 +86,12 @@ def fingerprint(finding: Finding) -> str:
     return f"{finding.rule}|{finding.path}|{finding.context}"
 
 
-_PRAGMA = re.compile(r"#\s*analysis:\s*allow(?:\[([A-Za-z0-9_,\s]+)\])?")
+_PRAGMA = re.compile(
+    r"#\s*analysis:\s*allow(?!-module)(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+_MODULE_PRAGMA = re.compile(
+    r"#\s*analysis:\s*allow-module\[([A-Za-z0-9_,\s]+)\]"
+)
 
 
 class ModuleSource:
@@ -94,6 +105,36 @@ class ModuleSource:
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
         self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        #: Rules a header ``# analysis: allow-module[...]`` pragma
+        #: suppresses for the entire file.
+        self.module_allowed = self._scan_module_pragma()
+
+    def _scan_module_pragma(self) -> frozenset:
+        """Rules named by ``allow-module`` pragmas in the module header.
+
+        Only the header counts — lines before the first statement after
+        the module docstring — so a stray pragma deep in a file cannot
+        silently blanket it.
+        """
+        body = self.tree.body
+        start = 0
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            start = 1
+        if len(body) > start:
+            limit = body[start].lineno - 1
+        else:
+            limit = len(self.lines)
+        rules = set()
+        for line in self.lines[:limit]:
+            match = _MODULE_PRAGMA.search(line)
+            if match is not None:
+                rules.update(r.strip() for r in match.group(1).split(","))
+        return frozenset(r for r in rules if r)
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +159,8 @@ class ModuleSource:
     # ------------------------------------------------------------------
     def allowed(self, lineno: int, rule: str) -> bool:
         """Whether a suppression pragma covers ``rule`` on this line."""
+        if rule in self.module_allowed:
+            return True
         if not 1 <= lineno <= len(self.lines):
             return False
         match = _PRAGMA.search(self.lines[lineno - 1])

@@ -15,7 +15,9 @@ the constructs that silently break it:
   it is the designated instrumentation clock (the engine's measured
   ``seconds``), and scheduling built on it is order-only by contract.
   Genuinely wall-clock-dependent features (``store gc --max-age-days``)
-  carry an ``# analysis: allow[D102]`` pragma.
+  carry an ``# analysis: allow[D102]`` pragma; a module whose whole
+  purpose is sanctioned instrumentation (the telemetry layer) declares
+  ``# analysis: allow-module[D102]`` once in its header instead.
 * **D103** — iterating a freshly built ``set``/``frozenset`` (or a set
   literal/comprehension), including via ``list()``/``tuple()``/
   ``enumerate()``: the order is hash-seed-dependent, so anything built

@@ -11,6 +11,9 @@ Usage::
     python -m repro.experiments worker shard-000.json --store-dir worker0/
     python -m repro.experiments store ls --store-dir results/ [--timings]
     python -m repro.experiments store gc --store-dir results/ --max-age-days 30
+    python -m repro.experiments fig17 --trace-dir traces/      # record spans
+    python -m repro.experiments trace summary --trace-dir traces/
+    python -m repro.experiments trace critical-path --trace-dir traces/
     python -m repro.experiments list
 
 Every figure is one entry in the :data:`FIGURES` registry — a render
@@ -44,6 +47,14 @@ performs by copying manifests out and store directories back.  ``worker``
 is that subprocess's entry point and runs anywhere the package is
 importable.  ``store ls`` / ``store gc`` list and prune the store's
 streams.
+
+``--trace-dir`` records span telemetry for any run, render, dispatch or
+worker invocation: every process appends its spans and metrics to JSONL
+shards under ``<trace-dir>/<trace-id>/`` (the trace id derives from the
+workload, so a dispatch coordinator and its workers share one trace).
+``trace summary|tree|critical-path|ls`` reads them back; tracing is off
+by default and never changes any figure's output.  ``--log-level``
+controls the ``repro`` logger (serial-fallback notices and friends).
 
 Benchmarks under ``benchmarks/`` do the same with timing and shape
 assertions; this entry point is the quick, dependency-free way to look at
@@ -439,6 +450,23 @@ def dispatchable_figures() -> list:
     )
 
 
+def _traced_scheme_phases(trace_dir) -> Dict[str, Dict[str, float]]:
+    """Per-scheme phase seconds pooled across every trace in a dir."""
+    from repro.experiments import telemetry
+
+    pooled: Dict[str, Dict[str, float]] = {}
+    for trace_id in telemetry.list_traces(trace_dir):
+        try:
+            trace = telemetry.load_trace(trace_dir, trace_id)
+        except telemetry.TraceError:
+            continue
+        for scheme, phases in telemetry.scheme_phases(trace).items():
+            merged = pooled.setdefault(scheme, {})
+            for phase, seconds in phases.items():
+                merged[phase] = merged.get(phase, 0.0) + seconds
+    return pooled
+
+
 def run_store_command(args) -> int:
     """`store ls` / `store gc`: list and prune result-store streams."""
     from repro.experiments.store import ResultStore, workload_signature
@@ -457,6 +485,14 @@ def run_store_command(args) -> int:
         if not streams:
             print(f"store {args.store_dir}: empty")
             return 0
+        phases_by_scheme: Dict[str, Dict[str, float]] = {}
+        if args.timings and args.trace_dir is not None:
+            # With a trace dir, the coarse per-stream seconds gain a
+            # span-derived breakdown: where inside the tasks those
+            # seconds went (ksp / lp_solve / place / ...).
+            from repro.experiments.telemetry import format_phases
+
+            phases_by_scheme = _traced_scheme_phases(args.trace_dir)
         for record in streams:
             scheme = record["scheme"] or "<no valid header>"
             total = record["n_networks"]
@@ -477,6 +513,9 @@ def run_store_command(args) -> int:
                     )
                 else:
                     line += "  <no timings>"
+                phases = phases_by_scheme.get(record["scheme"])
+                if phases:
+                    line += f"  [{format_phases(phases)}]"
             print(line)
         return 0
 
@@ -506,6 +545,65 @@ def run_store_command(args) -> int:
     return 0
 
 
+def run_trace_command(args) -> int:
+    """`trace summary|tree|critical-path|ls`: read recorded telemetry."""
+    import dataclasses
+    import json
+
+    from repro.experiments import telemetry
+
+    action = args.target or "summary"
+    if action not in ("summary", "tree", "critical-path", "ls"):
+        print(
+            "trace needs an action: summary, tree, critical-path or ls",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_dir is None:
+        print("trace needs --trace-dir", file=sys.stderr)
+        return 2
+    try:
+        if action == "ls":
+            trace_ids = telemetry.list_traces(args.trace_dir)
+            if not trace_ids:
+                print(f"trace dir {args.trace_dir}: no traces")
+                return 0
+            if args.format == "json":
+                print(json.dumps(trace_ids))
+                return 0
+            for trace_id in trace_ids:
+                trace = telemetry.load_trace(args.trace_dir, trace_id)
+                print(
+                    f"{trace_id}  {len(trace.spans):>7d} span(s)  "
+                    f"{trace.n_shards:>3d} shard(s)  "
+                    f"{len(trace.pids):>3d} process(es)"
+                )
+            return 0
+        trace = telemetry.load_trace(args.trace_dir, args.trace)
+    except telemetry.TraceError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        if action == "summary":
+            payload = telemetry.summary(trace)
+        elif action == "critical-path":
+            payload = telemetry.critical_path(trace)
+        else:
+            payload = {
+                "trace": trace.trace_id,
+                "spans": [dataclasses.asdict(span) for span in trace.spans],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if action == "summary":
+        print(telemetry.render_summary(trace))
+    elif action == "critical-path":
+        print(telemetry.render_critical_path(trace))
+    else:
+        print("\n".join(telemetry.tree_lines(trace)))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -515,14 +613,16 @@ def main(argv=None) -> int:
         "figure",
         help="figure id (e.g. fig03), 'render' to re-draw one purely from "
         "the result store, 'dispatch'/'worker' for sharded subprocess "
-        "runs, 'store' for ls/gc, or 'list' to enumerate available ones",
+        "runs, 'store' for ls/gc, 'trace' to analyze recorded telemetry, "
+        "or 'list' to enumerate available ones",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
         help="figure id (render), scheme name or figure id (dispatch), "
-        "manifest path (worker), or action (store: ls|gc)",
+        "manifest path (worker), action (store: ls|gc; trace: "
+        "summary|tree|critical-path|ls)",
     )
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
@@ -630,14 +730,58 @@ def main(argv=None) -> int:
         "--timings",
         action="store_true",
         help="store ls: add a per-stream column with total/mean stored "
-        "evaluation seconds (the timings the 'lpt' schedule replays)",
+        "evaluation seconds (the timings the 'lpt' schedule replays); "
+        "with --trace-dir also a span-derived per-phase breakdown",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="threshold for the 'repro' logger on stderr (serial-fallback "
+        "notices and other diagnostics)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="record span telemetry into per-process JSONL shards under "
+        "this directory (off by default; never changes results); the "
+        "'trace' command reads the same directory back",
+    )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        help="override the workload-derived trace id when recording "
+        "(rarely needed; dispatch coordinators and workers converge on "
+        "the same id without it)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="trace command: which trace id (or unique prefix) to analyze "
+        "when the directory holds several",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="trace command output format",
     )
     args = parser.parse_args(argv)
     args.store_only = False
 
     from repro.experiments.store import StoreError
+    from repro.logutil import configure_logging
+
+    configure_logging(args.log_level)
 
     figure = args.figure
+    if args.trace_dir is not None and figure not in ("trace", "store", "list"):
+        from repro.experiments import telemetry
+
+        telemetry.configure(args.trace_dir, trace=args.trace_id)
+
+    if figure == "trace":
+        return run_trace_command(args)
     if figure in ("worker", "dispatch", "store"):
         command = {
             "worker": run_worker_command,
@@ -698,6 +842,10 @@ def main(argv=None) -> int:
         if removed:
             print(f"evicted {len(removed)} KSP cache file(s) from "
                   f"{args.cache_dir}")
+    if args.trace_dir is not None:
+        from repro.experiments import telemetry
+
+        telemetry.recorder().flush()
     return 0
 
 

@@ -156,27 +156,49 @@ class CostModel:
     static predictions, never as errors.
     """
 
-    def __init__(self, store_dir: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        store_dir: Optional[object] = None,
+        trace_dir: Optional[object] = None,
+    ) -> None:
         self.store_dir = store_dir
+        self.trace_dir = trace_dir
         self._learned: Optional[Dict[Tuple[str, str], float]] = None
 
     # ------------------------------------------------------------------
     def learned_seconds(self) -> Dict[Tuple[str, str], float]:
-        """Mean measured seconds keyed by (network signature, scheme)."""
+        """Mean measured seconds keyed by (network signature, scheme).
+
+        Store-stamped timings and telemetry task spans (when a
+        ``trace_dir`` is given) pool into one table: both measure the
+        same per-task evaluation region, so a span recorded by a traced
+        run replays exactly like a store record from an untraced one.
+        """
         if self._learned is None:
             self._learned = {}
+            totals: Dict[Tuple[str, str], List[float]] = {}
             if self.store_dir is not None:
-                totals: Dict[Tuple[str, str], List[float]] = {}
                 for _, scheme, timings in replay_timings(self.store_dir):
                     for timing in timings:
                         if not timing.network_signature:
                             continue  # pre-signature store record
                         key = (timing.network_signature, scheme)
                         totals.setdefault(key, []).append(timing.seconds)
-                self._learned = {
-                    key: sum(values) / len(values)
-                    for key, values in totals.items()
-                }
+            if self.trace_dir is not None:
+                from repro.experiments import telemetry
+
+                for signature, scheme, seconds in telemetry.task_timings(
+                    self.trace_dir
+                ):
+                    if not signature or not scheme:
+                        continue
+                    totals.setdefault((signature, scheme), []).append(
+                        seconds
+                    )
+            self._learned = {
+                key: sum(values) / len(values)
+                for key, values in totals.items()
+            }
         return self._learned
 
     @staticmethod
@@ -351,9 +373,11 @@ class LptScheduler(Scheduler):
 
 #: The schedule names the CLI exposes (``--schedule {interleave,lpt}``).
 SCHEDULES: Dict[str, Callable[..., Scheduler]] = {
-    "interleave": lambda store_dir=None: InterleaveScheduler(),
-    "lpt": lambda store_dir=None: LptScheduler(
-        CostModel(store_dir=store_dir)
+    "interleave": lambda store_dir=None, trace_dir=None: (
+        InterleaveScheduler()
+    ),
+    "lpt": lambda store_dir=None, trace_dir=None: LptScheduler(
+        CostModel(store_dir=store_dir, trace_dir=trace_dir)
     ),
 }
 
@@ -361,13 +385,14 @@ SCHEDULES: Dict[str, Callable[..., Scheduler]] = {
 def make_scheduler(
     choice: "str | Scheduler | None",
     store_dir: Optional[object] = None,
+    trace_dir: Optional[object] = None,
 ) -> Scheduler:
     """Resolve a schedule name (or pass through a ready scheduler).
 
     ``None`` and ``"interleave"`` give the byte-compatible round-robin
     default; ``"lpt"`` gives cost-aware scheduling whose
-    :class:`CostModel` replays learned timings from ``store_dir`` when
-    one is given.
+    :class:`CostModel` replays learned timings from ``store_dir`` and
+    telemetry task spans from ``trace_dir`` when either is given.
     """
     if choice is None:
         return InterleaveScheduler()
@@ -379,7 +404,7 @@ def make_scheduler(
             f"unknown schedule {choice!r}; choose one of "
             f"{', '.join(sorted(SCHEDULES))}"
         )
-    return factory(store_dir=store_dir)
+    return factory(store_dir=store_dir, trace_dir=trace_dir)
 
 
 def replay_timings(

@@ -62,6 +62,7 @@ import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.experiments import telemetry
 from repro.experiments.engine import ExperimentEngine, NetworkResult
 from repro.experiments.plan import (
     EvalPlan,
@@ -206,19 +207,21 @@ def write_shard_manifests(
         shards = lpt_partition(indices, costs, n_shards)
     else:
         shards = shard_indices(len(workload.networks), n_shards)
+    recorder = telemetry.recorder()
     for shard_index, indices in enumerate(shards):
-        manifest = build_manifest(
-            spec,
-            workload,
-            indices,
-            scheme=scheme,
-            signature=signature,
-            shard_index=shard_index,
-            n_shards=len(shards),
-            matrices_per_network=matrices_per_network,
-        )
-        path = out / f"shard-{shard_index:03d}.json"
-        path.write_text(json.dumps(manifest, indent=2))
+        with recorder.span("manifest_write", {"shard_index": shard_index}):
+            manifest = build_manifest(
+                spec,
+                workload,
+                indices,
+                scheme=scheme,
+                signature=signature,
+                shard_index=shard_index,
+                n_shards=len(shards),
+                matrices_per_network=matrices_per_network,
+            )
+            path = out / f"shard-{shard_index:03d}.json"
+            path.write_text(json.dumps(manifest, indent=2))
         paths.append(path)
     return paths
 
@@ -351,15 +354,17 @@ def write_plan_manifests(
     out.mkdir(parents=True, exist_ok=True)
     paths: List[Path] = []
     shards = scheduler.partition(plan, n_shards)
+    recorder = telemetry.recorder()
     for shard_index, shard_tasks in enumerate(shards):
-        manifest = build_plan_manifest(
-            plan,
-            shard_tasks,
-            shard_index=shard_index,
-            n_shards=len(shards),
-        )
-        path = out / f"shard-{shard_index:03d}.json"
-        path.write_text(json.dumps(manifest, indent=2))
+        with recorder.span("manifest_write", {"shard_index": shard_index}):
+            manifest = build_plan_manifest(
+                plan,
+                shard_tasks,
+                shard_index=shard_index,
+                n_shards=len(shards),
+            )
+            path = out / f"shard-{shard_index:03d}.json"
+            path.write_text(json.dumps(manifest, indent=2))
         paths.append(path)
     return paths
 
@@ -411,6 +416,14 @@ def run_worker(
     spec = SchemeSpec.from_jsonable(manifest["spec"])
     scheme = manifest["scheme"]
     signature = manifest["signature"]
+    recorder = telemetry.recorder()
+    if recorder.enabled:
+        # The manifest's (scheme, signature) pair derives the same trace
+        # id the coordinator uses: shards converge without handing an id
+        # across the process boundary.
+        recorder.begin_trace(
+            telemetry.trace_id_for_streams([(scheme, signature)])
+        )
     engine = ExperimentEngine(
         n_workers=1, cache_dir=cache_dir, cache_max_paths=cache_max_paths
     )
@@ -419,16 +432,29 @@ def run_worker(
         signature, scheme, n_networks=manifest["n_networks"], resume=resume
     )
     evaluated = skipped = 0
+    attrs = None
+    if recorder.enabled:
+        attrs = {
+            "shard_index": manifest["shard_index"],
+            "n_shards": manifest["n_shards"],
+        }
     try:
-        for index, item in manifest_items(manifest):
-            if index in writer.stored:
-                skipped += 1
-                continue
-            result = engine._evaluate_network(
-                spec, item, manifest["matrices_per_network"], index
-            )
-            writer.append(result)
-            evaluated += 1
+        with recorder.span("worker", attrs):
+            for index, item in manifest_items(manifest):
+                if index in writer.stored:
+                    skipped += 1
+                    continue
+                result = engine._evaluate_network(
+                    spec,
+                    item,
+                    manifest["matrices_per_network"],
+                    index,
+                    scheme=scheme,
+                )
+                writer.append(result)
+                evaluated += 1
+            if recorder.enabled and skipped:
+                recorder.counter("engine.resume_skipped", skipped)
     finally:
         writer.close()
     return {
@@ -459,6 +485,19 @@ def _run_plan_worker(
     """
     from repro.experiments.store import MultiStreamWriter
 
+    recorder = telemetry.recorder()
+    if recorder.enabled:
+        # The stream table always carries the *whole* plan's streams, so
+        # every shard — and the coordinator via plan_trace_id — derives
+        # the same trace id independently.
+        recorder.begin_trace(
+            telemetry.trace_id_for_streams(
+                [
+                    (stream["scheme"], stream["signature"])
+                    for stream in manifest["streams"]
+                ]
+            )
+        )
     engine = ExperimentEngine(
         n_workers=1, cache_dir=cache_dir, cache_max_paths=cache_max_paths
     )
@@ -470,41 +509,51 @@ def _run_plan_worker(
     ]
     rebuilt_items: Dict[int, NetworkWorkload] = {}
     evaluated = skipped = 0
+    attrs = None
+    if recorder.enabled:
+        attrs = {
+            "shard_index": manifest["shard_index"],
+            "n_shards": manifest["n_shards"],
+        }
     try:
-        stored = [
-            writer.open(
-                sid,
-                stream["signature"],
-                stream["scheme"],
-                n_networks=stream["n_networks"],
-            )
-            for sid, stream in enumerate(manifest["streams"])
-        ]
-        for task in manifest["tasks"]:
-            sid = task["stream"]
-            if task["index"] in stored[sid]:
-                skipped += 1
-                continue
-            item = rebuilt_items.get(task["item"])
-            if item is None:
-                entry = manifest["items"][task["item"]]
-                item = NetworkWorkload(
-                    network=network_from_json(json.dumps(entry["network"])),
-                    llpd=entry["llpd"],
-                    matrices=[
-                        tm_from_json(json.dumps(tm))
-                        for tm in entry["matrices"]
-                    ],
+        with recorder.span("worker", attrs):
+            stored = [
+                writer.open(
+                    sid,
+                    stream["signature"],
+                    stream["scheme"],
+                    n_networks=stream["n_networks"],
                 )
-                rebuilt_items[task["item"]] = item
-            result = engine._evaluate_network(
-                specs[sid],
-                item,
-                manifest["streams"][sid]["matrices_per_network"],
-                task["index"],
-            )
-            writer.append(sid, result)
-            evaluated += 1
+                for sid, stream in enumerate(manifest["streams"])
+            ]
+            for task in manifest["tasks"]:
+                sid = task["stream"]
+                if task["index"] in stored[sid]:
+                    skipped += 1
+                    continue
+                item = rebuilt_items.get(task["item"])
+                if item is None:
+                    entry = manifest["items"][task["item"]]
+                    item = NetworkWorkload(
+                        network=network_from_json(json.dumps(entry["network"])),
+                        llpd=entry["llpd"],
+                        matrices=[
+                            tm_from_json(json.dumps(tm))
+                            for tm in entry["matrices"]
+                        ],
+                    )
+                    rebuilt_items[task["item"]] = item
+                result = engine._evaluate_network(
+                    specs[sid],
+                    item,
+                    manifest["streams"][sid]["matrices_per_network"],
+                    task["index"],
+                    scheme=manifest["streams"][sid]["scheme"],
+                )
+                writer.append(sid, result)
+                evaluated += 1
+            if recorder.enabled and skipped:
+                recorder.counter("engine.resume_skipped", skipped)
     finally:
         writer.close()
     schemes = sorted({stream["scheme"] for stream in manifest["streams"]})
@@ -536,13 +585,22 @@ def merge_worker_store(
 
     Returns ``{"<signature>/<scheme>": records appended}`` per stream.
     """
-    from repro.experiments.store import _scan_stream
-
     worker_root = Path(worker_store_dir)
     main = ResultStore(main_store_dir)
     appended: Dict[str, int] = {}
     if not worker_root.is_dir():
         return appended
+    with telemetry.recorder().span("merge"):
+        _merge_worker_streams(worker_root, main, appended)
+    return appended
+
+
+def _merge_worker_streams(
+    worker_root: Path, main: ResultStore, appended: Dict[str, int]
+) -> None:
+    """The per-stream body of :func:`merge_worker_store`."""
+    from repro.experiments.store import _scan_stream
+
     for stream in sorted(worker_root.glob("*/*.jsonl")):
         signature = stream.parent.name
         header, results, _ = _scan_stream(os.fspath(stream))
@@ -579,7 +637,6 @@ def merge_worker_store(
         finally:
             writer.close()
         appended[f"{signature}/{scheme}"] = count
-    return appended
 
 
 # ----------------------------------------------------------------------
@@ -604,6 +661,12 @@ def _worker_command(
         command += ["--cache-dir", os.fspath(cache_dir)]
     if cache_max_paths is not None:
         command += ["--cache-max-paths", str(cache_max_paths)]
+    trace_dir = telemetry.active_trace_dir()
+    if trace_dir is not None:
+        # Local workers would inherit REPRO_TRACE_DIR anyway; the flag
+        # also documents exactly what a remote host must be handed.  The
+        # worker derives its trace id from the manifest, so no id flag.
+        command += ["--trace-dir", trace_dir]
     return command
 
 
@@ -711,7 +774,18 @@ def dispatch_run(
     from repro.experiments.cost import make_scheduler
 
     scheme = scheme or spec.scheme
-    resolved = make_scheduler(scheduler, store_dir=store_dir)
+    recorder = telemetry.recorder()
+    if recorder.enabled:
+        recorder.begin_trace(
+            telemetry.trace_id_for_streams(
+                [(scheme, workload_signature(workload, matrices_per_network))]
+            )
+        )
+    resolved = make_scheduler(
+        scheduler,
+        store_dir=store_dir,
+        trace_dir=telemetry.active_trace_dir(),
+    )
     own_work_dir = None
     if work_dir is None:
         own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")
@@ -794,7 +868,14 @@ def dispatch_plan(
     """
     from repro.experiments.cost import make_scheduler
 
-    resolved = make_scheduler(scheduler, store_dir=store_dir)
+    recorder = telemetry.recorder()
+    if recorder.enabled:
+        recorder.begin_trace(telemetry.plan_trace_id(plan))
+    resolved = make_scheduler(
+        scheduler,
+        store_dir=store_dir,
+        trace_dir=telemetry.active_trace_dir(),
+    )
     own_work_dir = None
     if work_dir is None:
         own_work_dir = tempfile.TemporaryDirectory(prefix="repro-dispatch-")

@@ -46,8 +46,9 @@ Sharding/determinism contract
   spec plus the item's serialized network/matrices/KSP-paths and
   produces the same outcomes.  Only when neither start method can run
   the plan does the engine degrade to the deterministic serial path —
-  same results, no parallelism — and it warns (:class:`RuntimeWarning`)
-  when doing so, since silently losing parallelism is a performance bug
+  same results, no parallelism — and it logs a warning on the ``repro``
+  logger (and bumps the ``engine.serial_fallback`` trace counter) when
+  doing so, since silently losing parallelism is a performance bug
   waiting to be misread.
 * With a ``cache_dir``, each worker warms its network's KSP cache from
   ``ksp-<network_signature>.json`` when a valid file exists and dumps the
@@ -74,7 +75,6 @@ import itertools
 import os
 import threading
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -82,6 +82,7 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import multiprocessing
 
+from repro.experiments import telemetry
 from repro.experiments.plan import (
     EvalPlan,
     EvalTask,
@@ -91,8 +92,11 @@ from repro.experiments.plan import (
 )
 from repro.experiments.runner import SchemeOutcome
 from repro.experiments.workloads import NetworkWorkload, ZooWorkload
+from repro.logutil import get_logger
 from repro.net.paths import KspCache, ksp_cache_path, network_signature
 from repro.routing.base import RoutingScheme
+
+logger = get_logger(__name__)
 
 SchemeFactory = Callable[[NetworkWorkload], RoutingScheme]
 
@@ -212,7 +216,11 @@ class ExperimentEngine:
             return choice
         from repro.experiments.cost import make_scheduler
 
-        return make_scheduler(choice, store_dir=self.store_dir)
+        return make_scheduler(
+            choice,
+            store_dir=self.store_dir,
+            trace_dir=telemetry.active_trace_dir(),
+        )
 
     # ------------------------------------------------------------------
     # Single-scheme entry points (one-stream plans)
@@ -291,6 +299,11 @@ class ExperimentEngine:
                 for key in plan.streams
             },
             predicted=predicted,
+            schemes={
+                key: stream.scheme
+                for key, stream in plan.streams.items()
+                if stream.scheme
+            },
         )
 
     def stream_plan(
@@ -307,10 +320,31 @@ class ExperimentEngine:
         """
         if not plan.streams:
             return iter(())
+        recorder = telemetry.recorder()
+        if recorder.enabled:
+            # Name the trace after the plan's workload content, so every
+            # process evaluating this plan — fork children, spawn
+            # children, dispatch workers on other hosts — independently
+            # derives the same trace id and their shards merge.
+            recorder.begin_trace(telemetry.plan_trace_id(plan))
         resolved = self._resolve_scheduler(scheduler)
         if self.store_dir is not None:
-            return self._stream_plan_stored(plan, resolved)
-        return self._stream_plan_fresh(plan, plan.tasks(scheduler=resolved))
+            inner = self._stream_plan_stored(plan, resolved)
+        else:
+            with recorder.span("schedule"):
+                tasks = plan.tasks(scheduler=resolved)
+            inner = self._stream_plan_fresh(plan, tasks)
+        if recorder.enabled:
+            return self._traced_stream(inner)
+        return inner
+
+    @staticmethod
+    def _traced_stream(
+        inner: Iterator[Tuple[Hashable, "NetworkResult"]],
+    ) -> Iterator[Tuple[Hashable, "NetworkResult"]]:
+        """Wrap a whole plan's streaming consumption in one root span."""
+        with telemetry.recorder().span("run_plan"):
+            yield from inner
 
     # ------------------------------------------------------------------
     def _stream_plan_stored(
@@ -349,6 +383,7 @@ class ExperimentEngine:
                     yield key, stored[index]
             return
 
+        recorder = telemetry.recorder()
         writer = MultiStreamWriter(store, resume=self.resume)
         try:
             missing: Dict[Hashable, List[int]] = {}
@@ -362,12 +397,14 @@ class ExperimentEngine:
                     for index, result in stored.items()
                     if 0 <= index < total
                 }
+                if valid and recorder.enabled:
+                    recorder.counter("engine.resume_skipped", len(valid))
                 for index in sorted(valid):
                     yield key, valid[index]
                 missing[key] = [i for i in range(total) if i not in valid]
-            for key, result in self._stream_plan_fresh(
-                plan, plan.tasks(indices=missing, scheduler=scheduler)
-            ):
+            with recorder.span("schedule"):
+                tasks = plan.tasks(indices=missing, scheduler=scheduler)
+            for key, result in self._stream_plan_fresh(plan, tasks):
                 writer.append(key, result)
                 yield key, result
         finally:
@@ -385,21 +422,20 @@ class ExperimentEngine:
                 return self._stream_plan_parallel(plan, tasks, workers)
             if "spawn" in methods and plan.spawn_safe():
                 return self._stream_plan_spawn(plan, tasks, workers)
+            recorder = telemetry.recorder()
+            if recorder.enabled:
+                recorder.counter("engine.serial_fallback")
             if "spawn" in methods:
-                warnings.warn(
+                logger.warning(
                     "fork start method unavailable and a scheme factory "
                     "is not a picklable SchemeSpec (see "
                     "repro.experiments.spec); falling back to serial "
-                    "evaluation",
-                    RuntimeWarning,
-                    stacklevel=3,
+                    "evaluation"
                 )
             else:
-                warnings.warn(
+                logger.warning(
                     "no usable multiprocessing start method (need fork or "
-                    "spawn); falling back to serial evaluation",
-                    RuntimeWarning,
-                    stacklevel=3,
+                    "spawn); falling back to serial evaluation"
                 )
         return self._stream_plan_serial(plan, tasks)
 
@@ -413,6 +449,7 @@ class ExperimentEngine:
                 stream.workload.networks[task.index],
                 stream.matrices_per_network,
                 task.index,
+                scheme=stream.scheme,
             )
 
     def _stream_plan_parallel(
@@ -429,12 +466,15 @@ class ExperimentEngine:
         pool = None
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            recorder = telemetry.recorder()
             pending = {
                 pool.submit(_forked_evaluate, token, task.stream, task.index)
                 for task in tasks
             }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                if recorder.enabled:
+                    recorder.gauge("pool.pending", len(pending))
                 for future in done:
                     yield future.result()
         finally:
@@ -485,6 +525,7 @@ class ExperimentEngine:
                     item.cache.dump(max_paths_per_pair=self.cache_max_paths),
                     stream.matrices_per_network,
                     task.index,
+                    stream.scheme,
                 )
 
             remaining = iter(tasks)
@@ -509,18 +550,23 @@ class ExperimentEngine:
         item: NetworkWorkload,
         matrices_per_network: Optional[int],
         index: int,
+        scheme: Optional[str] = None,
     ) -> NetworkResult:
         """Evaluate one workload item, reporting it as network ``index``.
 
         ``index`` is the item's position in the *full* workload — shard
         workers (:mod:`repro.experiments.dispatch`) pass the original
         global index with a locally reconstructed item, so ids and stored
-        streams line up across hosts.
+        streams line up across hosts.  ``scheme`` is the result-store
+        stream name, carried on the task's trace span so span timings can
+        feed the cost model's learned (signature, scheme) table.
         """
+        recorder = telemetry.recorder()
         cache_path = self._cache_path(item)
         preloaded = 0
         if cache_path is not None:
-            loaded = KspCache.try_load_file(cache_path, item.network)
+            with recorder.span("cache_load"):
+                loaded = KspCache.try_load_file(cache_path, item.network)
             if loaded is not None:
                 # Swap the cache on a copy: the caller's workload must not
                 # be mutated differently by serial vs parallel runs (the
@@ -532,32 +578,47 @@ class ExperimentEngine:
             matrices = matrices[:matrices_per_network]
 
         uid = network_id(item, index)
-        start = time.perf_counter()
-        scheme = scheme_factory(item)
-        outcomes = []
-        for tm in matrices:
-            placement = scheme.place(item.network, tm)
-            outcomes.append(
-                SchemeOutcome(
-                    network_name=item.network.name,
-                    llpd=item.llpd,
-                    congested_fraction=placement.congested_pair_fraction(),
-                    latency_stretch=placement.total_latency_stretch(),
-                    max_path_stretch=placement.max_path_stretch(),
-                    max_utilization=placement.max_utilization(),
-                    fits=placement.fits_all_traffic,
-                    network_id=uid,
+        signature = network_signature(item.network)
+        attrs = None
+        if recorder.enabled:
+            attrs = {
+                "index": index,
+                "network_id": uid,
+                "scheme": scheme or "",
+                "network_signature": signature,
+            }
+        # The task span covers exactly the region ``seconds`` measures,
+        # so trace-replayed timings and store-stamped means agree.
+        with recorder.span("task", attrs):
+            start = time.perf_counter()
+            with recorder.span("scheme_build"):
+                built = scheme_factory(item)
+            outcomes = []
+            for tm in matrices:
+                with recorder.span("place"):
+                    placement = built.place(item.network, tm)
+                outcomes.append(
+                    SchemeOutcome(
+                        network_name=item.network.name,
+                        llpd=item.llpd,
+                        congested_fraction=placement.congested_pair_fraction(),
+                        latency_stretch=placement.total_latency_stretch(),
+                        max_path_stretch=placement.max_path_stretch(),
+                        max_utilization=placement.max_utilization(),
+                        fits=placement.fits_all_traffic,
+                        network_id=uid,
+                    )
                 )
-            )
-        seconds = time.perf_counter() - start
+            seconds = time.perf_counter() - start
         if cache_path is not None:
             if (
                 not os.path.exists(cache_path)
                 or self._count_paths(item) != preloaded
             ):
-                item.cache.dump_file(
-                    cache_path, max_paths_per_pair=self.cache_max_paths
-                )
+                with recorder.span("cache_dump"):
+                    item.cache.dump_file(
+                        cache_path, max_paths_per_pair=self.cache_max_paths
+                    )
             else:
                 # Skip the rewrite when evaluation added nothing: a fully-
                 # warm repeat run would otherwise re-serialize every file
@@ -574,7 +635,7 @@ class ExperimentEngine:
             outcomes=outcomes,
             seconds=seconds,
             paths_preloaded=preloaded,
-            network_signature=network_signature(item.network),
+            network_signature=signature,
         )
 
     def _cache_path(self, item: NetworkWorkload) -> Optional[str]:
@@ -602,6 +663,7 @@ def _forked_evaluate(
         stream.workload.networks[index],
         stream.matrices_per_network,
         index,
+        scheme=stream.scheme,
     )
 
 
@@ -615,6 +677,7 @@ def _spawned_evaluate(
     cache_payload: dict,
     matrices_per_network: Optional[int],
     index: int,
+    scheme: Optional[str] = None,
 ) -> Tuple[Hashable, NetworkResult]:
     """Spawn-pool entry point: rebuild the item, evaluate, ship back."""
     from repro.net.paths import KspCacheMismatchError
@@ -629,5 +692,5 @@ def _spawned_evaluate(
     )
     engine = ExperimentEngine(**engine_kwargs)
     return key, engine._evaluate_network(
-        factory, item, matrices_per_network, index
+        factory, item, matrices_per_network, index, scheme=scheme
     )

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.metrics import ApaParameters, apa_all_pairs, apa_cdf, llpd
 from repro.experiments.plan import EvalPlan, PlanReport, execute_plan
+from repro.experiments.telemetry import traced
 from repro.experiments.runner import per_network_quantiles
 from repro.experiments.spec import SchemeSpec
 from repro.experiments.workloads import (
@@ -117,6 +118,7 @@ def fig01_apa_cdfs(
 # ----------------------------------------------------------------------
 # Figures 3 and 19
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig03_plan(workload: ZooWorkload) -> EvalPlan:
     """Figure 3 as a (single-stream) plan: SP over the whole ensemble."""
     plan = EvalPlan()
@@ -171,6 +173,7 @@ def fig19_google(
 # ----------------------------------------------------------------------
 # Figure 4
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig04_plan(
     workload: ZooWorkload,
     schemes: Optional[Dict[str, Callable[[NetworkWorkload], object]]] = None,
@@ -252,6 +255,7 @@ def fig07_utilization_cdf(
 # ----------------------------------------------------------------------
 # Figure 8
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig08_plan(
     workload: ZooWorkload,
     headrooms: Sequence[float] = (0.0, 0.11, 0.23, 0.40),
@@ -395,6 +399,7 @@ def fig15_runtimes(
 # ----------------------------------------------------------------------
 # Figure 16
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig16_plan(
     workload: ZooWorkload,
     llpd_split: float = 0.5,
@@ -481,6 +486,7 @@ def fig16_max_stretch_cdfs(
 # ----------------------------------------------------------------------
 # Figure 17
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig17_plan(
     items: Sequence[NetworkWorkload],
     loads: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
@@ -558,6 +564,7 @@ def fig17_load_sweep(
 # ----------------------------------------------------------------------
 # Figure 18
 # ----------------------------------------------------------------------
+@traced("plan_build")
 def fig18_plan(
     networks: Sequence[Network],
     localities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
@@ -730,6 +737,7 @@ def _grow_network_cached(
     return grown
 
 
+@traced("plan_build")
 def fig20_plan(
     items: Sequence[NetworkWorkload],
     growth_fraction: float = 0.05,

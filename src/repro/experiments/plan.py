@@ -304,6 +304,10 @@ class PlanReport:
     #: Predicted seconds per stream key and network index — empty for
     #: cost-blind schedulers (the interleave default).
     predicted: Dict[Hashable, Dict[int, float]] = field(default_factory=dict)
+    #: Result-store scheme stream name per plan key (streams without a
+    #: scheme name are absent).  Lets :meth:`cost_report` join telemetry
+    #: phase breakdowns — which are keyed by scheme — back to plan keys.
+    schemes: Dict[Hashable, str] = field(default_factory=dict)
 
     def outcomes(self, key: Hashable) -> List["SchemeOutcome"]:
         """One stream's outcomes flattened in workload order."""
@@ -341,20 +345,49 @@ class PlanReport:
             for key, results in self.results.items()
         }
 
-    def cost_report(self) -> List[Tuple[Hashable, str, float, float]]:
-        """(stream key, network_id, predicted, actual) per predicted task.
+    def cost_report(
+        self, trace_dir: Optional[str] = None
+    ) -> List[Tuple[Hashable, str, float, float, Dict[str, float]]]:
+        """(stream key, network_id, predicted, actual, phases) per task.
 
         Empty when the run's scheduler made no predictions.  The
         calibration view: how far the cost model's guesses landed from
-        the seconds the engine then measured.
+        the seconds the engine then measured.  With a ``trace_dir``, the
+        trailing dict breaks each task's actual seconds into span-derived
+        phases (``ksp``/``lp_solve``/``place``/...); it is empty when no
+        trace covers the task (tracing off, or the row served purely
+        from the result store).
         """
-        rows: List[Tuple[Hashable, str, float, float]] = []
+        phase_rows: Dict[Tuple[str, str], Dict[str, float]] = {}
+        if trace_dir is not None:
+            from repro.experiments import telemetry
+
+            for trace_id in telemetry.list_traces(trace_dir):
+                try:
+                    trace = telemetry.load_trace(trace_dir, trace_id)
+                except telemetry.TraceError:
+                    continue
+                for scheme, networks in telemetry.phase_breakdown(
+                    trace
+                ).items():
+                    for network, phases in networks.items():
+                        merged = phase_rows.setdefault((scheme, network), {})
+                        for phase, seconds in phases.items():
+                            merged[phase] = merged.get(phase, 0.0) + seconds
+        rows: List[Tuple[Hashable, str, float, float, Dict[str, float]]] = []
         for key, by_index in self.predicted.items():
+            scheme = self.schemes.get(key, "")
             for result in self.results.get(key, []):
                 predicted = by_index.get(result.index)
                 if predicted is not None:
                     rows.append(
-                        (key, result.network_id, predicted, result.seconds)
+                        (
+                            key,
+                            result.network_id,
+                            predicted,
+                            result.seconds,
+                            phase_rows.get((scheme, result.network_id), {}),
+                        )
                     )
         return rows
 

@@ -51,6 +51,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
+from repro.experiments import telemetry
 from repro.experiments.runner import SchemeOutcome
 from repro.experiments.workloads import ZooWorkload
 from repro.net.io import to_json as network_to_json
@@ -349,8 +350,12 @@ class StoreWriter:
 
     def append(self, result: "NetworkResult") -> None:
         """Append one completed network's result as a single flushed line."""
-        self._handle.write(_dump_line(_result_to_record(result)))
-        self._handle.flush()
+        recorder = telemetry.recorder()
+        with recorder.span("store_append"):
+            self._handle.write(_dump_line(_result_to_record(result)))
+            self._handle.flush()
+        if recorder.enabled:
+            recorder.counter("store.records_appended")
 
     def close(self) -> None:
         self._handle.close()

@@ -1,0 +1,69 @@
+"""Logging for the repro stack: one namespaced logger, CLI-configurable.
+
+Everything under ``repro`` logs through children of the single ``repro``
+logger (``get_logger(__name__)``), so one ``--log-level`` flag governs
+the whole stack and library code never calls ``logging.basicConfig`` or
+prints to stderr directly.  The engine's serial-fallback notice — a
+performance bug waiting to be misread, not an API misuse — is the
+canonical client: it used to be a :class:`RuntimeWarning`, which muddled
+"your code is wrong" semantics with "this run is slower than you think"
+reporting and was awkward to silence or route.
+
+Library modules call :func:`get_logger` only; :func:`configure_logging`
+is for *entry points* (the experiments CLI, scripts) and is safe to call
+repeatedly — it installs at most one stderr handler on the ``repro``
+root and just re-levels it afterwards, so tests and nested CLIs never
+stack duplicate handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+#: The stack's root logger name; every module logger is a child.
+ROOT_NAME = "repro"
+
+#: Marker attribute identifying the handler :func:`configure_logging`
+#: installed, so repeat calls re-level instead of stacking handlers.
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a child of it for a module ``__name__``."""
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: Union[int, str] = "warning") -> logging.Logger:
+    """Point the ``repro`` logger at stderr at ``level`` (idempotent).
+
+    ``level`` is a ``logging`` level name (case-insensitive) or numeric
+    value.  Returns the configured root logger.  Handlers installed by
+    the host application are left alone, and records still propagate to
+    the global root, so test harnesses (pytest's ``caplog``) and host
+    logging setups observe everything the CLI handler prints.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger(ROOT_NAME)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_MARK, False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    handler.setLevel(level)
+    return logger

@@ -25,6 +25,20 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+#: Lazily bound telemetry module (a module-level import would drag the
+#: whole experiments package into every LP import; see
+#: :mod:`repro.net.paths` for the same idiom).
+_telemetry = None
+
+
+def _recorder():
+    global _telemetry
+    if _telemetry is None:
+        from repro.experiments import telemetry
+
+        _telemetry = telemetry
+    return _telemetry.recorder()
+
 
 class InfeasibleError(Exception):
     """The LP has no feasible point."""
@@ -198,15 +212,23 @@ class LinearProgram:
         a_eq, b_eq = _assemble([(expr, rhs) for expr, rhs in eq_rows], n, signed=False)
 
         bounds = list(zip(self._lower, self._upper))
-        result = linprog(
-            c,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=bounds,
-            method="highs",
-        )
+        recorder = _recorder()
+        attrs = None
+        if recorder.enabled:
+            attrs = {
+                "n_variables": n,
+                "n_constraints": self.num_constraints,
+            }
+        with recorder.span("lp_solve", attrs):
+            result = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+            )
         if result.status == 2:
             raise InfeasibleError("LP is infeasible")
         if result.status == 3:

@@ -22,6 +22,22 @@ from repro.net.graph import Network
 
 Path = Tuple[str, ...]
 
+#: Lazily bound telemetry module.  A module-level import would run
+#: ``repro.experiments.__init__`` (which imports the engine, which
+#: imports this module) mid-import; binding on first use keeps this
+#: low-level module cycle-free while the disabled-recorder fast path
+#: stays two attribute lookups and a call.
+_telemetry = None
+
+
+def _recorder():
+    global _telemetry
+    if _telemetry is None:
+        from repro.experiments import telemetry
+
+        _telemetry = telemetry
+    return _telemetry.recorder()
+
 
 class NoPathError(Exception):
     """Raised when no path exists between the requested endpoints."""
@@ -281,11 +297,23 @@ class KspCache:
         if key not in self._paths:
             self._paths[key] = []
         paths = self._paths[key]
-        while len(paths) < k and key not in self._exhausted:
-            try:
-                paths.append(next(self._generator(key)))
-            except StopIteration:
-                self._exhausted.add(key)
+        if len(paths) >= k or key in self._exhausted:
+            recorder = _recorder()
+            if recorder.enabled:
+                recorder.counter("ksp.cache_hit")
+            return paths[:k]
+        recorder = _recorder()
+        if recorder.enabled:
+            recorder.counter("ksp.cache_miss")
+        # The span covers only materialization (running Yen's), never
+        # cache hits — "ksp" trace seconds are the paper's "readily
+        # cached" bottleneck, not dictionary lookups.
+        with recorder.span("ksp"):
+            while len(paths) < k and key not in self._exhausted:
+                try:
+                    paths.append(next(self._generator(key)))
+                except StopIteration:
+                    self._exhausted.add(key)
         return paths[:k]
 
     def _generator(self, key: Tuple[str, str]) -> Iterator[Path]:

@@ -111,6 +111,80 @@ def test_d102_wall_clock_and_pragma(tmp_path):
     assert rules == ["D102", "D102"]
 
 
+def test_d102_module_allowlist_pragma(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        '''
+        """A module whose whole purpose is sanctioned instrumentation."""
+
+        # analysis: allow-module[D102]
+
+        import time
+
+        def stamp():
+            return time.time()
+
+        def stamp_again():
+            return time.time()
+        ''',
+        [DeterminismPass()],
+    )
+    assert rules == []
+
+
+def test_module_allowlist_covers_only_named_rules(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        '''
+        """Module pragma for D102 must not blanket other rules."""
+
+        # analysis: allow-module[D102]
+
+        import random
+        import time
+
+        def jitter():
+            return random.random() + time.time()
+        ''',
+        [DeterminismPass()],
+    )
+    assert rules == ["D101"]
+
+
+def test_module_allowlist_only_counts_in_header(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        import time
+
+        # analysis: allow-module[D102]
+
+        def stamp():
+            return time.time()
+        """,
+        [DeterminismPass()],
+    )
+    # The pragma sits after the first statement, so it is not a header
+    # declaration and suppresses nothing.
+    assert rules == ["D102"]
+
+
+def test_allow_module_pragma_does_not_loosen_line_pragma(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()  # analysis: allow-module[D102]
+        """,
+        [DeterminismPass()],
+    )
+    # allow-module on a single line must NOT act as a line pragma: the
+    # `allow` regex deliberately refuses the `-module` suffix.
+    assert rules == ["D102"]
+
+
 def test_d103_fresh_set_iteration(tmp_path):
     rules = rules_in(
         tmp_path,

@@ -265,10 +265,11 @@ class TestEngineCostRecording:
         assert set(report.predicted["SP"]) == set(range(total))
         rows = report.cost_report()
         assert len(rows) == total
-        for key, network_id, predicted, actual in rows:
+        for key, network_id, predicted, actual, phases in rows:
             assert key == "SP"
             assert predicted > 0 and actual >= 0
             assert network_id
+            assert phases == {}  # no trace dir given
 
     def test_interleave_run_records_no_predictions(self, workload):
         plan = EvalPlan()

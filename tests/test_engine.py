@@ -136,16 +136,21 @@ class TestValidationAndFallback:
         with pytest.raises(ValueError):
             ExperimentEngine(n_workers=0)
 
-    def test_serial_fallback_without_fork(self, workload, monkeypatch):
+    def test_serial_fallback_without_fork(self, workload, monkeypatch, caplog):
         # A plain-function factory is not spawn-safe (only SchemeSpecs
         # are), so without fork the engine must warn and run serially.
+        import logging
         import multiprocessing
 
         monkeypatch.setattr(
             multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
-        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        with caplog.at_level(logging.WARNING, logger="repro"):
             report = ExperimentEngine(n_workers=4).run(sp_factory, workload)
+        assert any(
+            "falling back to serial" in record.message
+            for record in caplog.records
+        )
         assert report.outcomes == ExperimentEngine(n_workers=1).run(
             sp_factory, workload
         ).outcomes

@@ -153,32 +153,42 @@ class TestSpawnPool:
         assert all(r.paths_preloaded > 0 for r in second.results)
 
     def test_closure_without_fork_warns_and_runs_serial(
-        self, workload, monkeypatch
+        self, workload, monkeypatch, caplog
     ):
+        import logging
         import multiprocessing
 
         factory = lambda item: ShortestPathRouting(item.cache)
         monkeypatch.setattr(
             multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
-        with pytest.warns(RuntimeWarning, match="not a picklable SchemeSpec"):
+        with caplog.at_level(logging.WARNING, logger="repro"):
             report = ExperimentEngine(n_workers=4).run(factory, workload)
+        assert any(
+            "not a picklable SchemeSpec" in record.message
+            for record in caplog.records
+        )
         assert report.outcomes == ExperimentEngine(n_workers=1).run(
             factory, workload
         ).outcomes
 
     def test_no_start_method_at_all_warns_and_runs_serial(
-        self, workload, monkeypatch
+        self, workload, monkeypatch, caplog
     ):
+        import logging
         import multiprocessing
 
         monkeypatch.setattr(
             multiprocessing, "get_all_start_methods", lambda: []
         )
-        with pytest.warns(RuntimeWarning, match="no usable multiprocessing"):
+        with caplog.at_level(logging.WARNING, logger="repro"):
             report = ExperimentEngine(n_workers=4).run(
                 SchemeSpec("SP"), workload
             )
+        assert any(
+            "no usable multiprocessing" in record.message
+            for record in caplog.records
+        )
         assert len(report.outcomes) == 4
 
 
