@@ -1,0 +1,136 @@
+"""Lazy scenario fleets vs a materialized variant list: speed and memory.
+
+The tentpole claim of the scenarios subsystem is that a 10^5-variant
+fleet *streams*: the plan's task list is an iterator, variants realize
+on demand inside a bounded LRU window, and peak memory stays flat in
+fleet size.  This benchmark measures exactly that, in child processes so
+``ru_maxrss`` is a clean per-mode high-water mark:
+
+* **lazy** — a fleet of ``REPRO_BENCH_SCENARIO_VARIANTS`` (default
+  100 000) variants, streamed via ``plan.iter_tasks()``; the same number
+  of variants as the materialized pass realize on demand, spread across
+  the whole fleet, but none are retained beyond the LRU window.
+* **materialized** — a fleet of ``REPRO_BENCH_SCENARIO_MATERIALIZED``
+  (default 2 000) variants with ``plan.tasks()`` fully listed and every
+  realized variant retained — the pre-subsystem idiom.
+
+Both modes' task throughput and peak RSS land in
+``BENCH_scenarios.json``; the benchmark FAILS if the 50x-larger lazy
+fleet's peak memory ever exceeds the small materialized one's — that
+would mean something started materializing the full task list again.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from benchmarks.conftest import record_bench_json
+
+N_LAZY = int(os.environ.get("REPRO_BENCH_SCENARIO_VARIANTS", "100000"))
+N_MATERIALIZED = int(
+    os.environ.get("REPRO_BENCH_SCENARIO_MATERIALIZED", "2000")
+)
+
+_CHILD = r"""
+import json
+import resource
+import sys
+import time
+
+from repro.experiments.plan import EvalPlan
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.workloads import build_zoo_workload
+from repro.scenarios import ScenarioGenerator, ScenarioWorkload
+
+mode, n_variants, n_realized = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+)
+workload = build_zoo_workload(
+    n_networks=2, n_matrices=1, seed=0, include_named=False
+)
+base = max(workload.networks, key=lambda item: item.network.num_links)
+fleet_set = ScenarioGenerator(base, seed=0).fleet(
+    surges=n_variants - 1, surge_pairs=3
+)
+fleet = ScenarioWorkload(base, fleet_set.specs, seed=0)
+plan = EvalPlan()
+plan.add("SP", SchemeSpec("SP"), fleet, scheme="SP")
+
+start = time.perf_counter()
+realized = 0
+if mode == "lazy":
+    step = max(1, len(fleet.specs) // n_realized)
+    n_tasks = 0
+    for task in plan.iter_tasks():
+        n_tasks += 1
+        if task.index % step == 0 and realized < n_realized:
+            item = fleet.networks[task.index]  # on-demand, LRU-windowed
+            realized += 1
+elif mode == "materialized":
+    items = list(fleet.networks)  # realize AND retain every variant
+    tasks = plan.tasks()  # the full task list, materialized
+    n_tasks = len(tasks)
+    realized = len(items)
+else:
+    raise SystemExit(f"unknown mode {mode!r}")
+seconds = time.perf_counter() - start
+
+print(json.dumps({
+    "mode": mode,
+    "n_variants": len(fleet.specs),
+    "n_tasks": n_tasks,
+    "realized_variants": realized,
+    "seconds": seconds,
+    "tasks_per_second": n_tasks / seconds if seconds > 0 else None,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _run_child(mode: str, n_variants: int, n_realized: int) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(n_variants), str(n_realized)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def test_lazy_fleet_streams_within_materialized_memory(benchmark):
+    lazy = benchmark.pedantic(
+        lambda: _run_child("lazy", N_LAZY, N_MATERIALIZED),
+        rounds=1,
+        iterations=1,
+    )
+    materialized = _run_child(
+        "materialized", N_MATERIALIZED, N_MATERIALIZED
+    )
+
+    assert lazy["n_tasks"] == N_LAZY
+    assert materialized["n_tasks"] == N_MATERIALIZED
+    # Both passes realize the same number of variants; only retention
+    # (and fleet size) differs.
+    assert lazy["realized_variants"] == materialized["realized_variants"]
+
+    record_bench_json(
+        "scenarios",
+        {
+            "lazy": lazy,
+            "materialized": materialized,
+            "fleet_ratio": N_LAZY / N_MATERIALIZED,
+            "peak_rss_ratio": (
+                lazy["peak_rss_kb"] / materialized["peak_rss_kb"]
+                if materialized["peak_rss_kb"] > 0
+                else None
+            ),
+        },
+    )
+
+    assert lazy["peak_rss_kb"] <= materialized["peak_rss_kb"], (
+        f"lazy {N_LAZY}-variant fleet peaked at {lazy['peak_rss_kb']} KB, "
+        f"above the {N_MATERIALIZED}-variant materialized pass "
+        f"({materialized['peak_rss_kb']} KB) — streaming has started "
+        f"materializing the fleet"
+    )

@@ -29,6 +29,12 @@ the constructs that silently break it:
 * **D105** — ``assert`` statements: stripped under ``python -O``, so an
   invariant guarded by one silently stops being checked the day someone
   runs optimized.  Library invariants must raise explicitly.
+* **D106** — scenario sampling without an explicit ``seed=``:
+  :mod:`repro.scenarios` entry points (``ScenarioGenerator``,
+  ``generate_scenarios``) derive every fleet from their seed, and a
+  dispatch coordinator and its workers must derive the *same* fleet
+  independently.  The parameter is keyword-only today; this rule keeps
+  call sites explicit even if a default ever creeps in.
 """
 
 from __future__ import annotations
@@ -66,6 +72,9 @@ NUMPY_LEGACY = frozenset(
 )
 
 _ORDERING_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+#: Scenario-fleet sampling entry points that must be explicitly seeded.
+SCENARIO_SAMPLERS = frozenset({"ScenarioGenerator", "generate_scenarios"})
 
 
 def _import_aliases(tree: ast.Module, target: str) -> Set[str]:
@@ -121,6 +130,7 @@ class DeterminismPass(Pass):
         "D103": "iteration over a freshly built set/frozenset",
         "D104": "iteration over a set-annotated value feeding ordered output",
         "D105": "assert statement in library code (stripped under -O)",
+        "D106": "scenario sampling without an explicit seed",
     }
 
     def check_module(self, module: ModuleSource) -> Iterator[Finding]:
@@ -222,6 +232,24 @@ class DeterminismPass(Pass):
             )
             if finding:
                 yield finding
+
+        # D106: ScenarioGenerator(...) / generate_scenarios(...) without
+        # an explicit seed= keyword.  A `**kwargs` splat may carry the
+        # seed invisibly, so it passes.
+        if parts[-1] in SCENARIO_SAMPLERS:
+            has_seed = any(
+                keyword.arg == "seed" or keyword.arg is None
+                for keyword in node.keywords
+            )
+            if not has_seed:
+                finding = module.finding(
+                    "D106", Severity.ERROR, node,
+                    f"`{name}(...)` without `seed=`: scenario fleets must "
+                    f"be reproducible across processes; pass an explicit "
+                    f"seed",
+                )
+                if finding:
+                    yield finding
 
         # D103 via wrappers: list(set(...)), enumerate(set(...)), ...
         if name in _ORDERING_WRAPPERS and node.args:

@@ -467,6 +467,135 @@ def _traced_scheme_phases(trace_dir) -> Dict[str, Dict[str, float]]:
     return pooled
 
 
+def run_scenarios_command(args) -> int:
+    """The scenario-fleet CLI: perturb, evaluate, report robustness.
+
+    Builds one plan — one stream per scheme over a shared lazy
+    :class:`~repro.scenarios.workload.ScenarioWorkload` — and answers
+    "which scheme degrades least" with per-scheme degradation quantiles
+    vs the unperturbed baseline.  ``--dispatch`` runs the same plan
+    through shard workers instead of the in-process engine; the report
+    is byte-identical either way.
+    """
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.plan import EvalPlan
+    from repro.experiments.spec import SchemeSpec, registered_schemes
+    from repro.scenarios import ScenarioGenerator, ScenarioWorkload
+    from repro.scenarios import report as robustness
+
+    schemes = [name for name in args.schemes.split(",") if name]
+    known = set(registered_schemes())
+    for name in schemes:
+        if name not in known:
+            print(
+                f"unknown scheme {name!r}; choose from "
+                f"{', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    if not schemes:
+        print("need at least one scheme (--schemes)", file=sys.stderr)
+        return 2
+    try:
+        localities = [
+            float(value) for value in args.localities.split(",") if value
+        ]
+    except ValueError:
+        print(f"bad --localities {args.localities!r}", file=sys.stderr)
+        return 2
+
+    workload = build_workload(args)
+    if not workload.networks:
+        print("workload is empty", file=sys.stderr)
+        return 2
+    if args.base_network is not None:
+        if not 0 <= args.base_network < len(workload.networks):
+            print(
+                f"--base-network {args.base_network} out of range "
+                f"(workload has {len(workload.networks)} networks)",
+                file=sys.stderr,
+            )
+            return 2
+        base = workload.networks[args.base_network]
+    else:
+        # Default: the best-connected network (most physical links) —
+        # the interesting what-if substrate; ties break to the lowest
+        # index, deterministically.
+        best = max(
+            range(len(workload.networks)),
+            key=lambda i: (workload.networks[i].network.num_links, -i),
+        )
+        base = workload.networks[best]
+
+    generator = ScenarioGenerator(base, seed=args.seed)
+    fleet = generator.fleet(
+        link_failure_k=args.failures,
+        node_failure_k=args.node_failures,
+        surges=args.surges,
+        surge_factor=args.surge_factor,
+        surge_pairs=args.surge_pairs,
+        localities=localities,
+        growth_stages=args.growth_stages,
+        budget=args.variant_budget,
+    )
+    scenario_workload = ScenarioWorkload(
+        base,
+        fleet.specs,
+        locality=workload.locality,
+        growth_factor=workload.growth_factor,
+        seed=args.seed,
+    )
+    plan = EvalPlan()
+    for name in schemes:
+        plan.add(name, SchemeSpec(name), scenario_workload)
+
+    per_scheme: Dict[str, Dict[int, Dict[str, float]]] = {
+        name: {} for name in schemes
+    }
+    if args.dispatch:
+        from repro.experiments.dispatch import dispatch_plan
+
+        if args.store_dir is None:
+            print("scenarios --dispatch needs --store-dir", file=sys.stderr)
+            return 2
+        plan_report = dispatch_plan(
+            plan,
+            n_shards=args.shards,
+            store_dir=args.store_dir,
+            work_dir=args.work_dir,
+            cache_dir=args.cache_dir,
+            cache_max_paths=args.cache_max_paths,
+            resume=args.resume,
+            scheduler=args.schedule,
+        )
+        for key, results in plan_report.results.items():
+            for result in results:
+                per_scheme[key][result.index] = robustness.variant_metrics(
+                    result.outcomes
+                )
+    else:
+        engine = ExperimentEngine(**engine_options(args))
+        # Streaming consumption: only the per-variant scalar metrics are
+        # retained, so a 10^5-task fleet needs O(window) result memory.
+        for key, result in engine.stream_plan(plan):
+            per_scheme[key][result.index] = robustness.variant_metrics(
+                result.outcomes
+            )
+
+    payload = robustness.robustness_payload(
+        base.network.name,
+        [spec.label() for spec in fleet.specs],
+        per_scheme,
+        fleet.skipped,
+        fleet.kind_counts(),
+    )
+    if args.format == "json":
+        print(robustness.render_json(payload))
+    else:
+        print(robustness.render_text(payload))
+    return 0
+
+
 def run_store_command(args) -> int:
     """`store ls` / `store gc`: list and prune result-store streams."""
     from repro.experiments.store import ResultStore, workload_signature
@@ -613,7 +742,8 @@ def main(argv=None) -> int:
         "figure",
         help="figure id (e.g. fig03), 'render' to re-draw one purely from "
         "the result store, 'dispatch'/'worker' for sharded subprocess "
-        "runs, 'store' for ls/gc, 'trace' to analyze recorded telemetry, "
+        "runs, 'scenarios' for perturbation-fleet robustness reports, "
+        "'store' for ls/gc, 'trace' to analyze recorded telemetry, "
         "or 'list' to enumerate available ones",
     )
     parser.add_argument(
@@ -764,7 +894,80 @@ def main(argv=None) -> int:
         "--format",
         choices=("text", "json"),
         default="text",
-        help="trace command output format",
+        help="trace / scenarios command output format",
+    )
+    parser.add_argument(
+        "--failures",
+        type=int,
+        default=2,
+        help="scenarios: fail every combination of this many physical "
+        "links (0 disables; sampled beyond --variant-budget)",
+    )
+    parser.add_argument(
+        "--node-failures",
+        type=int,
+        default=0,
+        help="scenarios: fail every combination of this many nodes "
+        "(demands touching a failed node are dropped)",
+    )
+    parser.add_argument(
+        "--surges",
+        type=int,
+        default=0,
+        help="scenarios: number of seeded flash-crowd variants",
+    )
+    parser.add_argument(
+        "--surge-factor",
+        type=float,
+        default=5.0,
+        help="scenarios: demand multiplier a flash crowd applies",
+    )
+    parser.add_argument(
+        "--surge-pairs",
+        type=int,
+        default=2,
+        help="scenarios: demand pairs surged per flash-crowd variant",
+    )
+    parser.add_argument(
+        "--localities",
+        default="",
+        help="scenarios: comma-separated locality values, one regional "
+        "demand-shift variant each (e.g. '0.5,1.0,2.0')",
+    )
+    parser.add_argument(
+        "--growth-stages",
+        type=int,
+        default=0,
+        help="scenarios: staged topology growth depth; stage s adds the "
+        "first s candidate links (geographically shortest first)",
+    )
+    parser.add_argument(
+        "--variant-budget",
+        type=int,
+        default=1000,
+        help="scenarios: per-kind variant cap; failure enumeration is "
+        "exhaustive while the combination count fits, seeded distinct "
+        "sampling beyond it",
+    )
+    parser.add_argument(
+        "--schemes",
+        default="SP,ECMP,MPLS-TE,B4",
+        help="scenarios: comma-separated schemes to compare ('list' "
+        "shows the registry)",
+    )
+    parser.add_argument(
+        "--base-network",
+        type=int,
+        default=None,
+        help="scenarios: workload index of the base network to perturb "
+        "(default: the best-connected one)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        action="store_true",
+        help="scenarios: run the fleet as one dispatched plan across "
+        "--shards worker subprocesses (needs --store-dir); the report "
+        "is byte-identical to the in-process run",
     )
     args = parser.parse_args(argv)
     args.store_only = False
@@ -782,11 +985,12 @@ def main(argv=None) -> int:
 
     if figure == "trace":
         return run_trace_command(args)
-    if figure in ("worker", "dispatch", "store"):
+    if figure in ("worker", "dispatch", "store", "scenarios"):
         command = {
             "worker": run_worker_command,
             "dispatch": run_dispatch_command,
             "store": run_store_command,
+            "scenarios": run_scenarios_command,
         }[figure]
         try:
             return command(args)

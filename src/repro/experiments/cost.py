@@ -224,7 +224,23 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def predict(self, stream: PlanStream, index: int) -> float:
-        """Predicted seconds for one task of a plan stream."""
+        """Predicted seconds for one task of a plan stream.
+
+        Lazy scenario workloads expose ``cost_basis(index)`` — the base
+        item plus a relative factor — so predicting a perturbed
+        variant's cost reuses the base network's learned timings without
+        ever materializing the variant topology.
+        """
+        basis = getattr(stream.workload, "cost_basis", None)
+        if callable(basis):
+            base_item, factor = basis(index)
+            return float(factor) * self.predict_item(
+                stream.factory,
+                base_item,
+                n_matrices=stream.matrices_per_network,
+                scheme=stream.scheme,
+                cost_hint=stream.cost_hint,
+            )
         return self.predict_item(
             stream.factory,
             stream.workload.networks[index],

@@ -258,15 +258,35 @@ def build_plan_manifest(
     the same network (the common case: every scheme of a figure runs
     over the same workload) serialize that network once per manifest,
     not once per task.
+
+    Lazy scenario workloads (anything exposing ``to_manifest_jsonable``)
+    ship *compactly*: the fleet description (base item + specs) lands
+    once in a deduplicated ``scenarios`` table, the stream entry points
+    at it, and the stream's tasks are run-length encoded as
+    ``task_chunks`` (contiguous index ranges) instead of one entry per
+    task — a 10^5-variant shard is a handful of chunk records, and no
+    variant is ever materialized while writing the manifest.  Both
+    additions are optional fields of the version-2 layout; manifests
+    without them read exactly as before.
     """
     stream_ids: Dict[object, int] = {}
     streams = []
+    scenarios: List[dict] = []
+    scenario_ids: Dict[int, int] = {}
     for key, stream in plan.streams.items():
         if not is_spawn_safe(stream.factory):
             raise DispatchError(
                 f"plan stream {key!r} uses a non-SchemeSpec factory; "
                 f"only registry specs can cross a host boundary"
             )
+        scenario_ref = None
+        to_payload = getattr(stream.workload, "to_manifest_jsonable", None)
+        if callable(to_payload):
+            scenario_ref = scenario_ids.get(id(stream.workload))
+            if scenario_ref is None:
+                scenario_ref = len(scenarios)
+                scenario_ids[id(stream.workload)] = scenario_ref
+                scenarios.append(to_payload())
         stream_ids[key] = len(streams)
         streams.append(
             {
@@ -277,13 +297,29 @@ def build_plan_manifest(
                 ),
                 "n_networks": stream.n_networks,
                 "matrices_per_network": stream.matrices_per_network,
+                "scenario": scenario_ref,
             }
         )
     items: List[dict] = []
     item_ids: Dict[tuple, int] = {}
     task_entries = []
+    task_chunks: List[dict] = []
+    open_chunks: Dict[int, dict] = {}
     for task in tasks:
         stream = plan.streams[task.stream]
+        sid = stream_ids[task.stream]
+        if streams[sid]["scenario"] is not None:
+            chunk = open_chunks.get(sid)
+            if (
+                chunk is not None
+                and chunk["start"] + chunk["count"] == task.index
+            ):
+                chunk["count"] += 1
+            else:
+                chunk = {"stream": sid, "start": task.index, "count": 1}
+                open_chunks[sid] = chunk
+                task_chunks.append(chunk)
+            continue
         item = stream.workload.networks[task.index]
         ident = (
             id(stream.workload), task.index, stream.matrices_per_network
@@ -319,6 +355,8 @@ def build_plan_manifest(
         "streams": streams,
         "items": items,
         "tasks": task_entries,
+        "scenarios": scenarios,
+        "task_chunks": task_chunks,
     }
 
 
@@ -508,6 +546,37 @@ def _run_plan_worker(
         for stream in manifest["streams"]
     ]
     rebuilt_items: Dict[int, NetworkWorkload] = {}
+    scenario_fleets: Dict[int, object] = {}
+
+    def scenario_item(sid: int, index: int) -> NetworkWorkload:
+        """Materialize one variant of a scenario stream on demand."""
+        ref = manifest["streams"][sid]["scenario"]
+        fleet = scenario_fleets.get(ref)
+        if fleet is None:
+            # Imported lazily: scenarios imports the store layer, and
+            # this module must stay importable without it at play.
+            from repro.scenarios.workload import ScenarioWorkload
+
+            fleet = ScenarioWorkload.from_manifest_jsonable(
+                manifest["scenarios"][ref]
+            )
+            scenario_fleets[ref] = fleet
+        return fleet.networks[index]
+
+    def shard_tasks():
+        """Explicit task entries, then run-length-encoded chunks.
+
+        Yields ``(stream id, global index, item ref)``; a ``None`` item
+        ref means the stream's scenario fleet materializes the item.
+        """
+        for task in manifest["tasks"]:
+            yield task["stream"], task["index"], task["item"]
+        for chunk in manifest.get("task_chunks") or []:
+            for index in range(
+                chunk["start"], chunk["start"] + chunk["count"]
+            ):
+                yield chunk["stream"], index, None
+
     evaluated = skipped = 0
     attrs = None
     if recorder.enabled:
@@ -526,28 +595,32 @@ def _run_plan_worker(
                 )
                 for sid, stream in enumerate(manifest["streams"])
             ]
-            for task in manifest["tasks"]:
-                sid = task["stream"]
-                if task["index"] in stored[sid]:
+            for sid, index, item_ref in shard_tasks():
+                if index in stored[sid]:
                     skipped += 1
                     continue
-                item = rebuilt_items.get(task["item"])
-                if item is None:
-                    entry = manifest["items"][task["item"]]
-                    item = NetworkWorkload(
-                        network=network_from_json(json.dumps(entry["network"])),
-                        llpd=entry["llpd"],
-                        matrices=[
-                            tm_from_json(json.dumps(tm))
-                            for tm in entry["matrices"]
-                        ],
-                    )
-                    rebuilt_items[task["item"]] = item
+                if item_ref is None:
+                    item = scenario_item(sid, index)
+                else:
+                    item = rebuilt_items.get(item_ref)
+                    if item is None:
+                        entry = manifest["items"][item_ref]
+                        item = NetworkWorkload(
+                            network=network_from_json(
+                                json.dumps(entry["network"])
+                            ),
+                            llpd=entry["llpd"],
+                            matrices=[
+                                tm_from_json(json.dumps(tm))
+                                for tm in entry["matrices"]
+                            ],
+                        )
+                        rebuilt_items[item_ref] = item
                 result = engine._evaluate_network(
                     specs[sid],
                     item,
                     manifest["streams"][sid]["matrices_per_network"],
-                    task["index"],
+                    index,
                     scheme=manifest["streams"][sid]["scheme"],
                 )
                 writer.append(sid, result)

@@ -78,7 +78,16 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import multiprocessing
 
@@ -332,7 +341,7 @@ class ExperimentEngine:
             inner = self._stream_plan_stored(plan, resolved)
         else:
             with recorder.span("schedule"):
-                tasks = plan.tasks(scheduler=resolved)
+                tasks = plan.iter_tasks(scheduler=resolved)
             inner = self._stream_plan_fresh(plan, tasks)
         if recorder.enabled:
             return self._traced_stream(inner)
@@ -403,7 +412,7 @@ class ExperimentEngine:
                     yield key, valid[index]
                 missing[key] = [i for i in range(total) if i not in valid]
             with recorder.span("schedule"):
-                tasks = plan.tasks(indices=missing, scheduler=scheduler)
+                tasks = plan.iter_tasks(indices=missing, scheduler=scheduler)
             for key, result in self._stream_plan_fresh(plan, tasks):
                 writer.append(key, result)
                 yield key, result
@@ -411,11 +420,18 @@ class ExperimentEngine:
             writer.close()
 
     def _stream_plan_fresh(
-        self, plan: EvalPlan, tasks: List[EvalTask]
+        self, plan: EvalPlan, tasks: Iterable[EvalTask]
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
-        if not tasks:
+        # ``tasks`` may be a lazy iterator over a 10^5-task fleet.  Peel
+        # just enough of its head to size the pool (as many tasks as the
+        # bounded submission window holds), then chain it back — the
+        # tail is never materialized.
+        task_iter = iter(tasks)
+        head = list(itertools.islice(task_iter, max(2 * self.n_workers, 2)))
+        if not head:
             return iter(())
-        workers = min(self.n_workers, len(tasks))
+        tasks = itertools.chain(head, task_iter)
+        workers = min(self.n_workers, len(head))
         if workers > 1:
             methods = multiprocessing.get_all_start_methods()
             if "fork" in methods:
@@ -440,7 +456,7 @@ class ExperimentEngine:
         return self._stream_plan_serial(plan, tasks)
 
     def _stream_plan_serial(
-        self, plan: EvalPlan, tasks: List[EvalTask]
+        self, plan: EvalPlan, tasks: Iterable[EvalTask]
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         for task in tasks:
             stream = plan.streams[task.stream]
@@ -453,12 +469,15 @@ class ExperimentEngine:
             )
 
     def _stream_plan_parallel(
-        self, plan: EvalPlan, tasks: List[EvalTask], workers: int
+        self, plan: EvalPlan, tasks: Iterable[EvalTask], workers: int
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         # Workers are forked, so factories/workloads (closures, caches,
         # live generators — none of it picklable) are inherited by memory
         # image instead of serialized.  Only the run token and the task
-        # (stream key + network index) cross the pipe.
+        # (stream key + network index) cross the pipe.  Tasks are
+        # submitted a bounded window at a time (like the spawn path):
+        # a 10^5-task scenario fleet must not materialize as 10^5
+        # pending futures.
         context = multiprocessing.get_context("fork")
         with _FORK_STATE_LOCK:
             token = next(_FORK_TOKENS)
@@ -467,15 +486,25 @@ class ExperimentEngine:
         try:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             recorder = telemetry.recorder()
+            remaining = iter(tasks)
             pending = {
                 pool.submit(_forked_evaluate, token, task.stream, task.index)
-                for task in tasks
+                for task in itertools.islice(remaining, 2 * workers)
             }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 if recorder.enabled:
                     recorder.gauge("pool.pending", len(pending))
                 for future in done:
+                    for task in itertools.islice(remaining, 1):
+                        pending.add(
+                            pool.submit(
+                                _forked_evaluate,
+                                token,
+                                task.stream,
+                                task.index,
+                            )
+                        )
                     yield future.result()
         finally:
             # A consumer abandoning the iterator early must not wait out
@@ -486,7 +515,7 @@ class ExperimentEngine:
                 _FORK_STATE.pop(token, None)
 
     def _stream_plan_spawn(
-        self, plan: EvalPlan, tasks: List[EvalTask], workers: int
+        self, plan: EvalPlan, tasks: Iterable[EvalTask], workers: int
     ) -> Iterator[Tuple[Hashable, NetworkResult]]:
         # Spawned workers share no memory with the parent, so each task
         # carries everything it needs in picklable form: the spec, the
@@ -526,6 +555,7 @@ class ExperimentEngine:
                     stream.matrices_per_network,
                     task.index,
                     stream.scheme,
+                    item.scenario,
                 )
 
             remaining = iter(tasks)
@@ -587,6 +617,8 @@ class ExperimentEngine:
                 "scheme": scheme or "",
                 "network_signature": signature,
             }
+            if item.scenario is not None:
+                attrs["scenario"] = item.scenario
         # The task span covers exactly the region ``seconds`` measures,
         # so trace-replayed timings and store-stamped means agree.
         with recorder.span("task", attrs):
@@ -678,6 +710,7 @@ def _spawned_evaluate(
     matrices_per_network: Optional[int],
     index: int,
     scheme: Optional[str] = None,
+    scenario: Optional[str] = None,
 ) -> Tuple[Hashable, NetworkResult]:
     """Spawn-pool entry point: rebuild the item, evaluate, ship back."""
     from repro.net.paths import KspCacheMismatchError
@@ -688,7 +721,8 @@ def _spawned_evaluate(
     except KspCacheMismatchError:
         pass  # cold cache; correctness unaffected
     item = NetworkWorkload(
-        network=network, llpd=llpd, matrices=matrices, cache=cache
+        network=network, llpd=llpd, matrices=matrices, cache=cache,
+        scenario=scenario,
     )
     engine = ExperimentEngine(**engine_kwargs)
     return key, engine._evaluate_network(

@@ -46,6 +46,8 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -136,6 +138,21 @@ class Scheduler:
         """Flatten per-stream task lists into one execution sequence."""
         raise NotImplementedError
 
+    def iter_order(
+        self, plan: "EvalPlan", per_stream: List[Iterable["EvalTask"]]
+    ) -> Iterator["EvalTask"]:
+        """Lazily flatten per-stream task iterables into one sequence.
+
+        The default materializes each stream and delegates to
+        :meth:`order` — correct for every scheduler (including
+        cost-aware ones, which need the whole list anyway).  Schedulers
+        whose order is computable online (the round-robin default)
+        override this to stay O(streams) in memory, which is what lets
+        a 10^5-task scenario fleet stream without ever holding its task
+        list.  Must yield exactly :meth:`order`'s sequence.
+        """
+        return iter(self.order(plan, [list(tasks) for tasks in per_stream]))
+
     def predictions(
         self, plan: "EvalPlan"
     ) -> Dict[Tuple[Hashable, int], float]:
@@ -191,6 +208,25 @@ class InterleaveScheduler(Scheduler):
                 if position < len(tasks):
                     interleaved.append(tasks[position])
         return interleaved
+
+    def iter_order(
+        self, plan: "EvalPlan", per_stream: List[Iterable["EvalTask"]]
+    ) -> Iterator["EvalTask"]:
+        """Truly lazy round-robin: O(streams) state, same sequence.
+
+        Exhausted streams drop out of the rotation, matching
+        :meth:`order` exactly (position ``i`` of every live stream
+        before position ``i + 1`` of any).
+        """
+        live = [iter(tasks) for tasks in per_stream]
+        while live:
+            still_live: List[Iterator[EvalTask]] = []
+            for tasks_iter in live:
+                task = next(tasks_iter, None)
+                if task is not None:
+                    yield task
+                    still_live.append(tasks_iter)
+            live = still_live
 
 
 class EvalPlan:
@@ -268,16 +304,38 @@ class EvalPlan:
         order.  Sequencing never changes results — only which task a
         pool starts when.
         """
-        per_stream: List[List[EvalTask]] = []
+        return list(self.iter_tasks(indices=indices, scheduler=scheduler))
+
+    def iter_tasks(
+        self,
+        indices: Optional[Dict[Hashable, Sequence[int]]] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> Iterator[EvalTask]:
+        """Lazily generate the execution sequence of :meth:`tasks`.
+
+        Per-stream tasks are generated on demand and flattened through
+        :meth:`Scheduler.iter_order`; with the round-robin default the
+        whole pipeline is O(streams) in memory, so plans over lazy
+        workloads (scenario fleets of 10^5+ variants) stream without
+        ever materializing the task list.  The sequence is identical to
+        :meth:`tasks` by contract.
+        """
+        def stream_tasks(
+            key: Hashable, wanted: Iterable[int]
+        ) -> Iterator[EvalTask]:
+            for i in wanted:
+                yield EvalTask(stream=key, index=i)
+
+        per_stream: List[Iterable[EvalTask]] = []
         for key, stream in self.streams.items():
-            wanted = (
+            wanted: Iterable[int] = (
                 indices.get(key, []) if indices is not None
                 else range(stream.n_networks)
             )
-            per_stream.append([EvalTask(stream=key, index=i) for i in wanted])
+            per_stream.append(stream_tasks(key, wanted))
         if scheduler is None:
             scheduler = InterleaveScheduler()
-        return scheduler.order(self, per_stream)
+        return scheduler.iter_order(self, per_stream)
 
     def spawn_safe(self) -> bool:
         """Whether every stream's factory can cross a spawn/host boundary."""

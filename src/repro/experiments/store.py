@@ -102,6 +102,14 @@ def workload_signature(
     cached = memo.get(matrices_per_network)
     if cached is not None:
         return cached
+    # Lazy workloads (e.g. repro.scenarios' 10^5-variant fleets) provide
+    # their own content signature so hashing does not materialize every
+    # variant; the contract is the same — equal signature iff the engine
+    # would produce identical outcomes.
+    content = getattr(workload, "content_signature", None)
+    if callable(content):
+        memo[matrices_per_network] = content(matrices_per_network)
+        return memo[matrices_per_network]
     digest = hashlib.sha256()
     digest.update(f"repro-store|{STORE_FORMAT}".encode())
     digest.update(

@@ -38,6 +38,11 @@ class NetworkWorkload:
     llpd: float
     matrices: List[TrafficMatrix]
     cache: KspCache = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Scenario label when this item is a perturbed variant produced by
+    #: :mod:`repro.scenarios` (``None`` for ordinary zoo items).  Purely
+    #: descriptive — telemetry tags task spans with it; results and
+    #: signatures derive from the perturbed content itself.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache is None:

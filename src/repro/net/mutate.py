@@ -10,7 +10,8 @@ greedy growth loop; the LLPD evaluation itself lives in
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +19,101 @@ from repro.net.geo import great_circle_km, link_delay_s
 from repro.net.graph import Network
 from repro.net.units import Gbps
 from repro.net.zoo import _capacity_for
+
+
+class ScenarioInfeasible(Exception):
+    """A topology perturbation severed a demand pair.
+
+    Removing a bridge link (or an articulation node) can leave a demand
+    pair with no path at all; every LP formulation downstream would then
+    die deep inside the solver with an opaque error.  Perturbation code
+    raises this typed error instead, so scenario generation can skip the
+    variant and count it rather than crash mid-fleet.
+    """
+
+
+def with_removed_duplex_link(network: Network, a: str, b: str) -> Network:
+    """A copy with both directions of the ``a``/``b`` physical link removed.
+
+    Raises :class:`ScenarioInfeasible` when no such physical link exists —
+    a scenario spec referring to a link the topology does not have is a
+    spec/topology mismatch, not a solver problem.
+    """
+    if not network.has_link(a, b) and not network.has_link(b, a):
+        raise ScenarioInfeasible(
+            f"{network.name}: no physical link {a} -- {b} to fail"
+        )
+    return network.without_duplex_link(a, b)
+
+
+def with_removed_node(network: Network, name: str) -> Network:
+    """A copy with one node and every link touching it removed."""
+    if not network.has_node(name):
+        raise ScenarioInfeasible(f"{network.name}: no node {name!r} to fail")
+    clone = Network(network.name)
+    for node_name in network.node_names:
+        if node_name != name:
+            clone.add_node(network.node(node_name))
+    for link in network.links():
+        if link.src != name and link.dst != name:
+            clone.add_link(link)
+    return clone
+
+
+def connected_components(network: Network) -> List[List[str]]:
+    """Connected components (treating links as undirected), deterministic.
+
+    Components are discovered in node insertion order and listed in node
+    insertion order, so the result is stable across hosts and hash seeds.
+    """
+    undirected: Dict[str, List[str]] = {n: [] for n in network.node_names}
+    for link in network.links():
+        undirected[link.src].append(link.dst)
+    seen: Dict[str, int] = {}
+    components: List[List[str]] = []
+    for start in network.node_names:
+        if start in seen:
+            continue
+        component: List[str] = []
+        queue = deque([start])
+        seen[start] = len(components)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in undirected[node]:
+                if neighbor not in seen:
+                    seen[neighbor] = len(components)
+                    queue.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def ensure_demand_connectivity(
+    network: Network, pairs: Iterable[Tuple[str, str]]
+) -> None:
+    """Raise :class:`ScenarioInfeasible` if any demand pair is severed.
+
+    One whole-graph BFS decides the common case (still connected =>
+    every pair fine); only on a split are the demand pairs checked
+    against the component labelling, and the first severed pair (in the
+    given order) names the failure deterministically.
+    """
+    components = connected_components(network)
+    if len(components) <= 1:
+        return
+    label: Dict[str, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            label[node] = index
+    for src, dst in pairs:
+        if src not in label or dst not in label:
+            raise ScenarioInfeasible(
+                f"{network.name}: demand endpoint removed ({src} -> {dst})"
+            )
+        if label[src] != label[dst]:
+            raise ScenarioInfeasible(
+                f"{network.name}: demand pair {src} -> {dst} disconnected"
+            )
 
 
 def candidate_links(

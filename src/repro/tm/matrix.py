@@ -113,12 +113,35 @@ class TrafficMatrix:
     # ------------------------------------------------------------------
     # Shaping
     # ------------------------------------------------------------------
-    def scaled(self, factor: float) -> "TrafficMatrix":
-        """A copy with every demand multiplied by ``factor``."""
+    def scaled(
+        self, factor: float, pairs: Optional[Iterable[Pair]] = None
+    ) -> "TrafficMatrix":
+        """A copy with demands multiplied by ``factor``.
+
+        With ``pairs=None`` every demand is scaled (the paper's uniform
+        load dial).  With an explicit pair collection only those pairs
+        surge — the flash-crowd perturbation — while all other demands
+        and the overall pair (insertion) order are preserved, so the
+        result stays order-stable under :meth:`__eq__` and JSON round
+        trips.  Pairs absent from the matrix raise ``KeyError`` rather
+        than silently creating demand out of nothing.
+        """
         if factor < 0:
             raise ValueError(f"scale factor must be non-negative, got {factor}")
+        if pairs is None:
+            return TrafficMatrix(
+                {pair: demand * factor for pair, demand in self._demands.items()}
+            )
+        surged = set()
+        for pair in pairs:
+            if pair not in self._demands:
+                raise KeyError(f"no demand pair {pair[0]} -> {pair[1]}")
+            surged.add(pair)
         return TrafficMatrix(
-            {pair: demand * factor for pair, demand in self._demands.items()}
+            {
+                pair: demand * factor if pair in surged else demand
+                for pair, demand in self._demands.items()
+            }
         )
 
     def with_demands(self, demands_bps: Mapping[Pair, float]) -> "TrafficMatrix":

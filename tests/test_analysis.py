@@ -255,6 +255,39 @@ def test_d105_assert_and_pragma(tmp_path):
     assert rules == ["D105"]
 
 
+def test_d106_seedless_scenario_sampling(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        from repro.scenarios import ScenarioGenerator, generate_scenarios
+
+        def fleets(base):
+            bad = ScenarioGenerator(base)
+            also_bad = generate_scenarios(base, link_failure_k=2)
+            return bad, also_bad
+        """,
+        [DeterminismPass()],
+    )
+    assert rules == ["D106", "D106"]
+
+
+def test_d106_quiet_with_seed_splat_or_pragma(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        from repro.scenarios import ScenarioGenerator, generate_scenarios
+
+        def fleets(base, options):
+            seeded = ScenarioGenerator(base, seed=3)
+            splat = generate_scenarios(base, **options)
+            waived = ScenarioGenerator(base)  # analysis: allow[D106]
+            return seeded, splat, waived
+        """,
+        [DeterminismPass()],
+    )
+    assert rules == []
+
+
 # ----------------------------------------------------------------------
 # Spawn-safety pass
 # ----------------------------------------------------------------------
@@ -500,7 +533,7 @@ def test_baseline_rejects_malformed_files(tmp_path):
 def test_rule_table_covers_every_pass():
     table = rule_table()
     for rule in (
-        "E001", "D101", "D102", "D103", "D104", "D105",
+        "E001", "D101", "D102", "D103", "D104", "D105", "D106",
         "S201", "S202", "S203", "C301", "C302", "C303",
     ):
         assert rule in table

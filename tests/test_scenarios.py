@@ -1,0 +1,468 @@
+"""Scenario fleets: specs, seeded generation, lazy plans, dispatch parity."""
+
+import json
+import multiprocessing
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.dispatch import dispatch_plan, load_manifest
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.plan import EvalPlan, EvalTask, execute_plan
+from repro.experiments.spec import SchemeSpec
+from repro.experiments.store import workload_signature
+from repro.experiments.workloads import NetworkWorkload, build_zoo_workload
+from repro.net.mutate import (
+    ScenarioInfeasible,
+    connected_components,
+    ensure_demand_connectivity,
+    with_removed_duplex_link,
+    with_removed_node,
+)
+from repro.net.graph import Network, Node
+from repro.net.units import Gbps, ms
+from repro.scenarios import (
+    BASELINE,
+    ScenarioGenerator,
+    ScenarioSpec,
+    ScenarioWorkload,
+    generate_scenarios,
+)
+from repro.scenarios.report import (
+    render_json,
+    render_text,
+    robustness_payload,
+    variant_metrics,
+)
+from repro.tm.matrix import TrafficMatrix
+from repro.tm.matrix import from_json as tm_from_json
+from repro.tm.matrix import to_json as tm_to_json
+
+
+def build_line(n=4):
+    """A chain n0 - n1 - ... - n_{n-1}: every interior link is a bridge."""
+    net = Network(f"line-{n}")
+    for i in range(n):
+        net.add_node(Node(f"n{i}"))
+    for i in range(n - 1):
+        net.add_duplex_link(f"n{i}", f"n{i + 1}", Gbps(10), ms(1))
+    return net
+
+
+def build_square():
+    """Four nodes in a cycle a-b-c-d-a: survives any single link cut."""
+    net = Network("square")
+    for name in "abcd":
+        net.add_node(Node(name))
+    net.add_duplex_link("a", "b", Gbps(10), ms(1))
+    net.add_duplex_link("b", "c", Gbps(10), ms(1))
+    net.add_duplex_link("c", "d", Gbps(10), ms(1))
+    net.add_duplex_link("d", "a", Gbps(10), ms(1))
+    return net
+
+
+# ----------------------------------------------------------------------
+# Satellite: TrafficMatrix.scaled(pairs=...)
+# ----------------------------------------------------------------------
+class TestScaledPairs:
+    def tm(self):
+        return TrafficMatrix(
+            {
+                ("a", "b"): Gbps(1),
+                ("b", "c"): Gbps(2),
+                ("c", "a"): Gbps(3),
+                ("a", "c"): 0.0,  # zero-demand pairs are retained
+            }
+        )
+
+    def test_subset_matches_manual_scaling(self):
+        tm = self.tm()
+        surged = tm.scaled(5.0, pairs=[("a", "b"), ("c", "a")])
+        manual = TrafficMatrix(
+            {
+                ("a", "b"): Gbps(1) * 5.0,
+                ("b", "c"): Gbps(2),
+                ("c", "a"): Gbps(3) * 5.0,
+                ("a", "c"): 0.0,
+            }
+        )
+        assert surged == manual
+
+    def test_preserves_pair_order_and_round_trips(self):
+        surged = self.tm().scaled(3.0, pairs=[("b", "c")])
+        assert surged.pairs == self.tm().pairs  # insertion order kept
+        assert tm_from_json(tm_to_json(surged)) == surged
+
+    def test_absent_pair_raises(self):
+        with pytest.raises(KeyError):
+            self.tm().scaled(2.0, pairs=[("a", "z")])
+
+    def test_none_scales_everything(self):
+        doubled = self.tm().scaled(2.0)
+        assert doubled.demand("b", "c") == Gbps(2) * 2.0
+        assert doubled.demand("a", "b") == Gbps(1) * 2.0
+
+
+# ----------------------------------------------------------------------
+# Satellite: mutate guards (typed infeasibility, not an LP crash)
+# ----------------------------------------------------------------------
+def line_item():
+    """A 4-node chain: every interior link is a bridge."""
+    network = build_line(4)
+    tm = TrafficMatrix({("n0", "n3"): Gbps(1), ("n1", "n2"): Gbps(1)})
+    return NetworkWorkload(network=network, llpd=1.0, matrices=[tm])
+
+
+class TestMutateGuards:
+    def test_removing_bridge_link_is_typed_infeasible(self):
+        spec = ScenarioSpec(failed_links=(("n1", "n2"),))
+        with pytest.raises(ScenarioInfeasible):
+            spec.apply(line_item())
+
+    def test_removing_absent_link_is_typed_infeasible(self):
+        with pytest.raises(ScenarioInfeasible):
+            with_removed_duplex_link(build_line(4), "n0", "n3")
+
+    def test_removing_absent_node_is_typed_infeasible(self):
+        with pytest.raises(ScenarioInfeasible):
+            with_removed_node(build_line(4), "n9")
+
+    def test_node_failure_severing_transit_demand(self):
+        # Dropping n1 severs n0 <-> n3 (chain); the n0->n3 demand survives
+        # the endpoint filter but has no path.
+        spec = ScenarioSpec(failed_nodes=("n1",))
+        with pytest.raises(ScenarioInfeasible):
+            spec.apply(line_item())
+
+    def test_connected_components_after_cut(self):
+        cut = with_removed_duplex_link(build_line(4), "n1", "n2")
+        assert connected_components(cut) == [["n0", "n1"], ["n2", "n3"]]
+        with pytest.raises(ScenarioInfeasible):
+            ensure_demand_connectivity(cut, [("n0", "n3")])
+
+    def test_square_tolerates_any_single_cut(self):
+        network = build_square()
+        tm = TrafficMatrix({("a", "c"): Gbps(1)})
+        item = NetworkWorkload(network=network, llpd=1.0, matrices=[tm])
+        for a, b in sorted(network.duplex_pairs()):
+            variant = ScenarioSpec(failed_links=((a, b),)).apply(item)
+            assert variant.network.num_links == network.num_links - 2
+            assert variant.scenario == f"fail[{a}--{b}]"
+
+
+# ----------------------------------------------------------------------
+# Generation: determinism, budgets, skip accounting
+# ----------------------------------------------------------------------
+class TestGeneration:
+    def test_infeasible_variants_skipped_and_counted(self):
+        fleet = generate_scenarios(line_item(), seed=3, link_failure_k=1)
+        # Chain n0-n1-n2-n3: every single-link cut severs n0->n3.
+        assert fleet.specs == [BASELINE]
+        assert fleet.skipped == {"link_failure": 3}
+        assert fleet.n_infeasible == 3
+        again = generate_scenarios(line_item(), seed=3, link_failure_k=1)
+        assert again.skipped == fleet.skipped
+
+    def test_baseline_is_always_variant_zero(self):
+        base = zoo_base()
+        fleet = ScenarioGenerator(base, seed=5).fleet(
+            link_failure_k=1, surges=2
+        )
+        assert fleet.specs[0] == BASELINE
+        assert fleet.specs[0].kind == "baseline"
+
+    def test_exhaustive_below_budget_sampled_above(self):
+        base = zoo_base()
+        generator = ScenarioGenerator(base, seed=5)
+        exhaustive, _ = generator.link_failures(1, budget=10_000)
+        n_links = len(base.network.duplex_pairs())
+        assert len(exhaustive) <= n_links
+        sampled, _ = generator.node_failures(2, budget=3)
+        assert len(sampled) <= 3
+        assert len({spec.signature() for spec in sampled}) == len(sampled)
+
+    def test_fleet_reproducible_within_process(self):
+        base = zoo_base()
+        first = ScenarioGenerator(base, seed=11).fleet(
+            link_failure_k=1, surges=3, budget=5
+        )
+        second = ScenarioGenerator(base, seed=11).fleet(
+            link_failure_k=1, surges=3, budget=5
+        )
+        assert [s.signature() for s in first.specs] == [
+            s.signature() for s in second.specs
+        ]
+        different = ScenarioGenerator(base, seed=12).fleet(
+            link_failure_k=1, surges=3, budget=5
+        )
+        assert [s.signature() for s in first.specs] != [
+            s.signature() for s in different.specs
+        ]
+
+    def test_fleet_reproducible_across_processes(self):
+        code = (
+            "from repro.experiments.workloads import build_zoo_workload\n"
+            "from repro.scenarios import ScenarioGenerator\n"
+            "base = build_zoo_workload(n_networks=2, n_matrices=1, seed=7,"
+            " include_named=False).networks[0]\n"
+            "fleet = ScenarioGenerator(base, seed=11).fleet("
+            "link_failure_k=1, surges=3, budget=5)\n"
+            "print('\\n'.join(s.signature() for s in fleet.specs))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split()
+        fleet = ScenarioGenerator(zoo_base(), seed=11).fleet(
+            link_failure_k=1, surges=3, budget=5
+        )
+        assert out == [s.signature() for s in fleet.specs]
+
+
+# ----------------------------------------------------------------------
+# Spec identity and composition
+# ----------------------------------------------------------------------
+class TestSpec:
+    def spec(self):
+        return ScenarioSpec(
+            failed_links=(("a", "b"),),
+            surge_pairs=(("c", "d"),),
+            surge_factor=4.0,
+        )
+
+    def test_pickle_and_json_round_trip(self):
+        spec = self.spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        restored = ScenarioSpec.from_jsonable(
+            json.loads(json.dumps(spec.to_jsonable()))
+        )
+        assert restored == spec
+        assert restored.signature() == spec.signature()
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_jsonable({"format": "something-else"})
+
+    def test_compose_concatenates_and_overrides(self):
+        stacked = self.spec().compose(
+            ScenarioSpec(failed_nodes=("e",), locality=0.5)
+        )
+        assert stacked.failed_links == (("a", "b"),)
+        assert stacked.failed_nodes == ("e",)
+        assert stacked.surge_factor == 4.0  # kept: other has no surge
+        assert stacked.locality == 0.5
+        assert stacked.kind == (
+            "link_failure+node_failure+flash_crowd+locality_shift"
+        )
+
+    def test_composed_spec_applies(self):
+        item = NetworkWorkload(
+            network=build_square(),
+            llpd=1.0,
+            matrices=[TrafficMatrix({("a", "c"): Gbps(1)})],
+        )
+        spec = ScenarioSpec(failed_links=(("a", "b"),)).compose(
+            ScenarioSpec(surge_pairs=(("a", "c"),), surge_factor=3.0)
+        )
+        variant = spec.apply(item)
+        assert variant.matrices[0].demand("a", "c") == Gbps(1) * 3.0
+        assert variant.network.num_links == item.network.num_links - 2
+
+    def test_baseline_apply_returns_base_unchanged(self):
+        item = line_item()
+        assert BASELINE.apply(item) is item
+
+
+# ----------------------------------------------------------------------
+# Lazy plans: streamed == materialized, any worker count, fork & spawn
+# ----------------------------------------------------------------------
+def zoo_base():
+    workload = build_zoo_workload(
+        n_networks=2, n_matrices=1, seed=7, include_named=False
+    )
+    return max(workload.networks, key=lambda item: item.network.num_links)
+
+
+def scenario_plan(schemes=("SP",)):
+    # budget=4 samples four 1-link failures: small enough to keep the
+    # worker-count sweep fast, large enough that every path (sampling,
+    # windowed streaming, resume mid-fleet) is exercised.
+    base = zoo_base()
+    fleet = ScenarioGenerator(base, seed=11).fleet(link_failure_k=1, budget=4)
+    workload = ScenarioWorkload(base, fleet.specs, seed=11)
+    plan = EvalPlan()
+    for name in schemes:
+        plan.add(name, SchemeSpec(name), workload, scheme=name)
+    return plan, workload
+
+
+class TestLazyPlans:
+    @pytest.fixture(scope="class")
+    def plan_and_workload(self):
+        return scenario_plan(schemes=("SP", "ECMP"))
+
+    @pytest.fixture(scope="class")
+    def reference(self, plan_and_workload):
+        plan, workload = plan_and_workload
+        materialized = EvalPlan()
+        realized = NetworkListWorkload(list(workload.networks))
+        for key, stream in plan.streams.items():
+            materialized.add(key, stream.factory, realized, scheme=stream.scheme)
+        return execute_plan(materialized, n_workers=1).all_outcomes()
+
+    def test_iter_tasks_matches_materialized_tasks(self, plan_and_workload):
+        plan, _ = plan_and_workload
+        assert list(plan.iter_tasks()) == plan.tasks()
+        assert all(isinstance(task, EvalTask) for task in plan.iter_tasks())
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_streamed_equals_materialized_fork(
+        self, plan_and_workload, reference, workers
+    ):
+        plan, _ = plan_and_workload
+        report = execute_plan(plan, n_workers=workers)
+        assert report.all_outcomes() == reference
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_streamed_equals_materialized_spawn(
+        self, plan_and_workload, reference, workers, monkeypatch
+    ):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        plan, _ = plan_and_workload
+        report = execute_plan(plan, n_workers=workers)
+        assert report.all_outcomes() == reference
+
+    def test_resume_after_kill_mid_fleet(
+        self, plan_and_workload, reference, tmp_path
+    ):
+        plan, _ = plan_and_workload
+        engine = ExperimentEngine(n_workers=1, store_dir=tmp_path)
+        stream = engine.stream_plan(plan)
+        for _ in range(5):  # "kill" the fleet run after five variants
+            next(stream)
+        stream.close()
+        resumed = execute_plan(plan, store_dir=tmp_path)
+        assert resumed.all_outcomes() == reference
+
+    def test_variants_materialize_on_demand(self, plan_and_workload):
+        _, workload = plan_and_workload
+        assert len(workload.networks) == len(workload.specs)
+        item = workload.networks[1]
+        assert item.scenario == workload.specs[1].label()
+        assert workload.networks[0] is workload.base  # baseline shares base
+
+
+class NetworkListWorkload:
+    """A fully materialized stand-in mirroring ZooWorkload's surface."""
+
+    def __init__(self, networks):
+        self.networks = networks
+        self.locality = 1.0
+        self.growth_factor = 1.3
+        self.seed = 11
+
+
+# ----------------------------------------------------------------------
+# Store identity and dispatch parity
+# ----------------------------------------------------------------------
+class TestStoreAndDispatch:
+    def test_content_signature_is_the_store_identity(self):
+        _, workload = scenario_plan()
+        assert workload_signature(workload) == workload.content_signature(None)
+        _, twin = scenario_plan()
+        assert workload_signature(twin) == workload_signature(workload)
+        shrunk = ScenarioWorkload(workload.base, workload.specs[:-1], seed=11)
+        assert workload_signature(shrunk) != workload_signature(workload)
+
+    def test_manifest_round_trips_fleet(self):
+        _, workload = scenario_plan()
+        payload = json.loads(json.dumps(workload.to_manifest_jsonable()))
+        restored = ScenarioWorkload.from_manifest_jsonable(payload)
+        assert restored.content_signature(None) == workload.content_signature(
+            None
+        )
+
+    def test_dispatch_two_shards_matches_in_process(self, tmp_path):
+        plan, _ = scenario_plan(schemes=("SP", "ECMP"))
+        report = dispatch_plan(
+            plan,
+            n_shards=2,
+            store_dir=tmp_path / "store",
+            work_dir=tmp_path / "work",
+            verify=True,  # asserts parity with the in-process engine
+        )
+        shards = sorted((tmp_path / "work" / "manifests").glob("shard-*.json"))
+        assert len(shards) == 2
+        for path in shards:
+            manifest = load_manifest(path)
+            assert manifest["scenarios"]  # fleet shipped once, compactly
+            assert manifest["task_chunks"]  # tasks are RLE runs
+            assert manifest["tasks"] == []  # never the materialized items
+        n_variants = len(plan.streams["SP"].workload.specs)
+        assert {
+            key: len(outcomes)
+            for key, outcomes in report.all_outcomes().items()
+        } == {"SP": n_variants, "ECMP": n_variants}
+
+
+# ----------------------------------------------------------------------
+# Robustness report
+# ----------------------------------------------------------------------
+class Outcome:
+    def __init__(self, stretch, congested=0.0, util=0.5):
+        self.latency_stretch = stretch
+        self.congested_fraction = congested
+        self.max_utilization = util
+
+
+class TestReport:
+    def payload(self):
+        per_scheme = {
+            "SP": {
+                0: variant_metrics([Outcome(1.0)]),
+                1: variant_metrics([Outcome(1.5, congested=0.2)]),
+                2: variant_metrics([Outcome(1.2)]),
+            },
+            "B4": {
+                0: variant_metrics([Outcome(1.0)]),
+                1: variant_metrics([Outcome(1.1)]),
+                2: variant_metrics([Outcome(1.05)]),
+            },
+        }
+        return robustness_payload(
+            "toy",
+            ["baseline", "fail[a--b]", "fail[b--c]"],
+            per_scheme,
+            {"link_failure": 1},
+            {"baseline": 1, "link_failure": 2},
+        )
+
+    def test_ranking_prefers_least_p90_degradation(self):
+        payload = self.payload()
+        assert payload["ranking"] == ["B4", "SP"]
+        assert payload["schemes"]["SP"]["worst_variant"]["label"] == (
+            "fail[a--b]"
+        )
+        assert payload["schemes"]["SP"]["stretch_ratio"]["max"] == 1.5
+        assert payload["n_infeasible"] == 1
+
+    def test_variant_metrics_averages_over_matrices(self):
+        metrics = variant_metrics([Outcome(1.0), Outcome(2.0)])
+        assert metrics["latency_stretch"] == 1.5
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_payload("toy", ["v"], {"SP": {1: {}}}, {}, {})
+
+    def test_renderings_are_deterministic(self):
+        payload = self.payload()
+        assert render_json(payload) == render_json(self.payload())
+        text = render_text(payload)
+        assert "least degradation (p90 stretch ratio): B4" in text
+        assert json.loads(render_json(payload))["ranking"] == ["B4", "SP"]
