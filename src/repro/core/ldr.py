@@ -18,6 +18,12 @@ The controller iterates through the paper's three phases (its Figure 11):
 Demand estimates start from Algorithm 1 predictions over each aggregate's
 measured minute means, so headroom against mean drift (the 10% hedge) and
 headroom against burstiness (the multiplexing loop) compose.
+
+The tweak loop re-optimizes with scaled demands over largely unchanged
+path sets; the LP layer's structure cache (see
+:mod:`repro.routing.pathlp`) recognizes the repeats, so each extra round
+pays for a solve, not a rebuild — ``warm_counts`` already keeps the
+path-set growth warm across rounds for the same reason.
 """
 
 from __future__ import annotations

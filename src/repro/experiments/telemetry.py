@@ -51,7 +51,10 @@ Span vocabulary (what :func:`summary` / ``trace critical-path`` report):
 ``scheme_build``          scheme construction inside a task
 ``place``                 one traffic matrix placement inside a task
 ``ksp``                   Yen's k-shortest-paths materialization
-``lp_solve``              one HiGHS LP solve
+``lp_assemble``           LP model assembly / compilation to solver
+                          form; attrs carry backend + warm/cold
+``lp_solve``              one LP solve (scipy-HiGHS or highspy); attrs
+                          carry backend + warm/cold
 ``cache_load``/``_dump``  persistent KSP cache file I/O
 ``store_append``          one result-store record append
 ``manifest_write``        shard manifest serialization (dispatch)
@@ -798,7 +801,9 @@ def tree_lines(trace: Trace, max_lines: int = 400) -> List[str]:
 
 #: Span names ``critical-path`` folds into its phase columns; everything
 #: else lands in ``other``.
-PHASE_NAMES = ("ksp", "lp_solve", "place", "task", "store_append")
+PHASE_NAMES = (
+    "ksp", "lp_assemble", "lp_solve", "place", "task", "store_append"
+)
 
 
 def critical_path(trace: Trace) -> dict:
@@ -808,8 +813,9 @@ def critical_path(trace: Trace) -> dict:
     latest span end]; busy time is the union of its span intervals and
     idle is the remainder — pool workers waiting between tasks, a
     coordinator waiting on futures.  Busy time splits into *exclusive*
-    per-phase seconds (``ksp``/``lp_solve``/``place``/``task`` overhead/
-    ``store_append``/other), so the columns sum to busy and
+    per-phase seconds (``ksp``/``lp_assemble``/``lp_solve``/``place``/
+    ``task`` overhead/``store_append``/other), so the columns sum to
+    busy and
     busy + idle = window.  The worker with the largest window is the
     run's critical path; its row is first.
     """

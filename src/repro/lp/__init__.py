@@ -1,12 +1,18 @@
 """Linear programming substrate.
 
-A small modelling layer over :func:`scipy.optimize.linprog` (HiGHS).  The
-paper's optimizations — the latency-optimal path LP (its Figure 12), the
-MinMax two-stage LPs, the locality redistribution LP and the traffic-matrix
-scaler — are all built on this.
+A small modelling layer over the HiGHS solver — via
+:func:`scipy.optimize.linprog` or (when installed) the native ``highspy``
+bindings, selected by ``REPRO_LP_BACKEND``.  The paper's optimizations —
+the latency-optimal path LP (its Figure 12), the MinMax two-stage LPs,
+the locality redistribution LP and the traffic-matrix scaler — are all
+built on this.  :class:`CompiledLP` is the reusable solver-ready form:
+vectorized assembly once, in-place payload mutation and warm re-solves
+after.
 """
 
 from repro.lp.model import (
+    BACKEND_ENV,
+    CompiledLP,
     Constraint,
     InfeasibleError,
     LinearProgram,
@@ -14,9 +20,13 @@ from repro.lp.model import (
     Solution,
     UnboundedError,
     Variable,
+    available_backends,
+    resolve_backend,
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "CompiledLP",
     "Constraint",
     "InfeasibleError",
     "LinearProgram",
@@ -24,4 +34,6 @@ __all__ = [
     "Solution",
     "UnboundedError",
     "Variable",
+    "available_backends",
+    "resolve_backend",
 ]

@@ -77,6 +77,10 @@ class Network:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        #: Memoized content hash, maintained for
+        #: :func:`repro.net.paths.network_signature`; every topology
+        #: mutation resets it.
+        self._signature_memo: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,6 +89,7 @@ class Network:
         """Add a node; re-adding the same name with new data replaces it."""
         self._nodes[node.name] = node
         self._adjacency.setdefault(node.name, [])
+        self._signature_memo = None
 
     def add_link(self, link: Link) -> None:
         """Add one directed link.  Both endpoints must already exist."""
@@ -95,6 +100,7 @@ class Network:
             raise ValueError(f"duplicate link {link.src}->{link.dst}")
         self._links[link.key] = link
         self._adjacency[link.src].append(link.dst)
+        self._signature_memo = None
 
     def add_duplex_link(
         self, src: str, dst: str, capacity_bps: float, delay_s: float
@@ -109,6 +115,7 @@ class Network:
             raise KeyError(f"no link {src}->{dst}")
         del self._links[(src, dst)]
         self._adjacency[src].remove(dst)
+        self._signature_memo = None
 
     def remove_duplex_link(self, src: str, dst: str) -> None:
         """Remove both directions of a physical link."""

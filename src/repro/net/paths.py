@@ -74,7 +74,14 @@ def network_signature(network: Network) -> str:
     delays or capacities — changes the signature, which is what lets
     persisted KSP caches reject stale state instead of serving paths for a
     topology that no longer exists.
+
+    Memoized on the network (every :class:`Network` mutation resets the
+    memo), so per-solve signature lookups in the LP structure cache are
+    O(1) after the first computation.
     """
+    memo = network._signature_memo
+    if memo is not None:
+        return memo
     digest = hashlib.sha256()
     digest.update(network.name.encode())
     for name in sorted(network.node_names):
@@ -87,7 +94,8 @@ def network_signature(network: Network) -> str:
         digest.update(
             f"L|{link.src}|{link.dst}|{link.capacity_bps!r}|{link.delay_s!r}".encode()
         )
-    return digest.hexdigest()
+    network._signature_memo = digest.hexdigest()
+    return network._signature_memo
 
 
 def path_links(path: Sequence[str]) -> List[Tuple[str, str]]:

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.lp import LinearProgram, LinExpr, Variable
+import numpy as np
+
+from repro.lp import LinearProgram
 from repro.net.graph import Network
 from repro.net.paths import shortest_path_delays
 from repro.routing.base import Placement, RoutingScheme, normalize_allocations
@@ -63,69 +65,135 @@ class LinkBasedOptimalRouting(RoutingScheme):
         if delay_unit <= 0:
             delay_unit = 1e-3
 
+        # Column layout: flow variables aggregate-major (``ai * L + li``),
+        # then Omax, then one O_l per link — the same order the scalar
+        # assembly produced, so solutions are bit-identical.
+        n_aggs = len(aggregates)
+        n_links = len(links)
+        node_names = list(routed.node_names)
+        n_nodes = len(node_names)
+        node_pos = {name: ni for ni, name in enumerate(node_names)}
+        agg_index = np.arange(n_aggs, dtype=np.int64)
+        link_index = np.arange(n_links, dtype=np.int64)
+        demand_units = (
+            np.fromiter(
+                (agg.demand_bps for agg in aggregates),
+                dtype=np.float64, count=n_aggs,
+            )
+            / capacity_unit
+        )
+
         lp = LinearProgram()
-        flow: Dict[Tuple[int, Tuple[str, str]], Variable] = {}
-        for ai, agg in enumerate(aggregates):
-            for link in links:
-                flow[(ai, link.key)] = lp.variable(f"f[{ai},{link.src}->{link.dst}]")
+        flow_start = lp.add_variables(n_aggs * n_links)
 
-        # Conservation per aggregate and node, in capacity units.
-        for ai, agg in enumerate(aggregates):
-            demand_units = agg.demand_bps / capacity_unit
-            for node in routed.node_names:
-                expr = LinExpr()
-                for link in routed.out_links(node):
-                    expr.add_term(flow[(ai, link.key)], 1.0)
-                for link in routed.in_links(node):
-                    expr.add_term(flow[(ai, link.key)], -1.0)
-                if node == agg.src:
-                    rhs = demand_units
-                elif node == agg.dst:
-                    rhs = -demand_units
-                else:
-                    rhs = 0.0
-                lp.add_constraint(expr, "==", rhs)
+        # Conservation per aggregate and node, in capacity units: build the
+        # one-aggregate incidence pattern once (each link leaves its src row
+        # with +1 and enters its dst row with -1), then tile with row/column
+        # offsets per aggregate.
+        src_pos = np.fromiter(
+            (node_pos[link.src] for link in links),
+            dtype=np.int64, count=n_links,
+        )
+        dst_pos = np.fromiter(
+            (node_pos[link.dst] for link in links),
+            dtype=np.int64, count=n_links,
+        )
+        base_rows = np.concatenate([src_pos, dst_pos])
+        base_cols = np.concatenate([link_index, link_index])
+        base_data = np.concatenate([np.ones(n_links), -np.ones(n_links)])
+        cons_rows = (base_rows[None, :] + agg_index[:, None] * n_nodes).ravel()
+        cons_cols = (base_cols[None, :] + agg_index[:, None] * n_links).ravel()
+        cons_data = np.tile(base_data, n_aggs)
+        cons_rhs = np.zeros(n_aggs * n_nodes)
+        agg_src = np.fromiter(
+            (node_pos[agg.src] for agg in aggregates),
+            dtype=np.int64, count=n_aggs,
+        )
+        agg_dst = np.fromiter(
+            (node_pos[agg.dst] for agg in aggregates),
+            dtype=np.int64, count=n_aggs,
+        )
+        cons_rhs[agg_index * n_nodes + agg_src] = demand_units
+        cons_rhs[agg_index * n_nodes + agg_dst] = -demand_units
+        lp.add_rows(cons_data, cons_rows, cons_cols, "==", cons_rhs)
 
-        # Capacity with overload variables, as in Figure 12.
+        # Capacity with overload variables, as in Figure 12: per link one
+        # capacity row (all aggregates' flows minus O_l * capacity) and one
+        # O_l <= Omax row, interleaved.
         omax = lp.variable("Omax", lower=1.0)
-        overload: Dict[Tuple[str, str], Variable] = {}
-        for link in links:
-            o_l = lp.variable(f"O[{link.src}->{link.dst}]", lower=1.0)
-            overload[link.key] = o_l
-            expr = LinExpr()
-            for ai in range(len(aggregates)):
-                expr.add_term(flow[(ai, link.key)], 1.0)
-            expr.add_term(o_l, -link.capacity_bps / capacity_unit)
-            lp.add_constraint(expr, "<=", 0.0)
-            bound = LinExpr({o_l: 1.0})
-            bound.add_term(omax, -1.0)
-            lp.add_constraint(bound, "<=", 0.0)
+        o_start = lp.add_variables(n_links, lower=1.0)
+        capacities = np.fromiter(
+            (link.capacity_bps for link in links),
+            dtype=np.float64, count=n_links,
+        )
+        cap_rows = np.concatenate([
+            np.repeat(2 * link_index, n_aggs),
+            2 * link_index,
+            2 * link_index + 1,
+            2 * link_index + 1,
+        ])
+        cap_cols = np.concatenate([
+            (link_index[:, None] + agg_index[None, :] * n_links).ravel()
+            + flow_start,
+            o_start + link_index,
+            o_start + link_index,
+            np.full(n_links, omax.index, dtype=np.int64),
+        ])
+        cap_data = np.concatenate([
+            np.ones(n_aggs * n_links),
+            (-capacities) / capacity_unit,
+            np.ones(n_links),
+            -np.ones(n_links),
+        ])
+        lp.add_rows(
+            cap_data, cap_rows, cap_cols, "<=", np.zeros(2 * n_links)
+        )
 
         # Objective: delay (with the RTT tie-break), then overload layers.
-        objective = LinExpr()
-        for ai, agg in enumerate(aggregates):
-            weight = agg.n_flows / total_flows
-            shortest_delay = max(shortest[agg.src][agg.dst], 1e-9)
-            demand_units = agg.demand_bps / capacity_unit
-            # sum_l f_al * d_l / B_a  ==  flow-fraction-weighted path delay.
-            for link in links:
-                delay = link.delay_s / delay_unit
-                coefficient = weight * delay / demand_units
-                coefficient *= 1.0 + M1_TIEBREAK * (delay_unit / shortest_delay)
-                objective.add_term(flow[(ai, link.key)], coefficient)
-        objective.add_term(omax, M2_MAX_OVERLOAD)
-        for o_l in overload.values():
-            objective.add_term(o_l, M3_TOTAL_OVERLOAD)
-        lp.minimize(objective)
+        # sum_l f_al * d_l / B_a  ==  flow-fraction-weighted path delay.
+        # The elementwise operation order matches the scalar loop exactly.
+        weight = (
+            np.fromiter(
+                (agg.n_flows for agg in aggregates),
+                dtype=np.float64, count=n_aggs,
+            )
+            / total_flows
+        )
+        shortest_delay = np.fromiter(
+            (max(shortest[agg.src][agg.dst], 1e-9) for agg in aggregates),
+            dtype=np.float64, count=n_aggs,
+        )
+        delay = (
+            np.fromiter(
+                (link.delay_s for link in links),
+                dtype=np.float64, count=n_links,
+            )
+            / delay_unit
+        )
+        coefficient = weight[:, None] * delay[None, :]
+        coefficient = coefficient / demand_units[:, None]
+        coefficient = coefficient * (
+            1.0 + M1_TIEBREAK * (delay_unit / shortest_delay)
+        )[:, None]
+        c = np.zeros(lp.num_variables)
+        c[flow_start:flow_start + n_aggs * n_links] = coefficient.ravel()
+        c[omax.index] = M2_MAX_OVERLOAD
+        c[o_start:o_start + n_links] = M3_TOTAL_OVERLOAD
+        lp.minimize_coefficients(c)
 
         solution = lp.solve()
+        values = solution.x
 
         raw: Dict[Aggregate, List[Tuple[tuple, float]]] = {}
         unplaced: Dict[Aggregate, float] = {}
         for ai, agg in enumerate(aggregates):
+            flow_values = (
+                values[flow_start + ai * n_links:
+                       flow_start + (ai + 1) * n_links]
+                * capacity_unit
+            ).tolist()
             link_flow = {
-                link.key: solution.value(flow[(ai, link.key)]) * capacity_unit
-                for link in links
+                link.key: flow_values[li] for li, link in enumerate(links)
             }
             splits = decompose_flow(
                 routed, agg.src, agg.dst, link_flow, agg.demand_bps
@@ -140,10 +208,11 @@ class LinkBasedOptimalRouting(RoutingScheme):
         if max_overload > 1.0 + 1e-6:
             from repro.net.paths import path_links
 
+            o_values = values[o_start:o_start + n_links]
             overloaded = {
-                key
-                for key, var in overload.items()
-                if solution.value(var) > 1.0 + 1e-6
+                links[li].key
+                for li in range(n_links)
+                if o_values[li] > 1.0 + 1e-6
             }
             for agg, splits in raw.items():
                 fraction_over = sum(

@@ -10,6 +10,12 @@ the number of variables (paths) in each run is small."
 With ``headroom > 0`` the optimization sees capacities scaled by
 ``1 - headroom`` (the paper's headroom dial, §4) while the returned
 placement is judged against the true capacities.
+
+Each iteration's LP goes through :func:`repro.routing.pathlp.solve_latency_lp`,
+which caches the demand-independent model structure by (network, path-set)
+signature: the no-growth retries here and the LDR tweak loop (same path
+sets, scaled demands) skip straight to warm assembly, so the repeated
+solves the paper waves off as "very quick" stay that way at fleet scale.
 """
 
 from __future__ import annotations

@@ -16,23 +16,41 @@ already large.
 
 It also implements the MinMax two-stage LP (minimize maximum utilization,
 then minimize latency subject to that maximum), which the paper uses as the
-TeXCP/MATE-style baseline.
+TeXCP/MATE-style baseline, plus an *approximate* MinMax fast path
+(:func:`solve_minmax_approx`) that reports a certified optimality gap.
 
 All quantities are normalized before hitting the solver: rates in units of
 the mean link capacity and delays in units of the flow-weighted mean
 shortest-path delay.  This keeps coefficient magnitudes near 1 and the
 HiGHS backend numerically happy (raw bits/s coefficients provoke spurious
 unbounded results).
+
+Assembly is vectorized: a :class:`_PathSetStructure` holds the
+demand-independent arrays of one (network, path-set) pair — per-path link
+incidence, per-path delays, link order, normalized capacities — and is
+cached in a small module-level LRU keyed by the network's content
+signature plus the exact path sets.  Sweep points that reuse a path set
+under different traffic matrices (figures 8/16/17, LDR's repeated rounds,
+scenario fleets) skip the dominant build loops entirely; the per-solve
+work is a handful of numpy operations feeding a
+:class:`repro.lp.CompiledLP`.  The produced models are bit-identical to
+the historical per-coefficient construction.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.lp import LinearProgram, LinExpr, Variable
+import math
+
+import numpy as np
+
+from repro.lp import CompiledLP, Solution
+from repro.lp.model import SENSE_EQ, SENSE_LE, _recorder, resolve_backend
 from repro.net.graph import Network
-from repro.net.paths import Path, path_links
+from repro.net.paths import Path, network_signature, path_links
 from repro.tm.matrix import Aggregate
 
 # Priority layers of the Figure 12 objective (normalized units).
@@ -75,8 +93,173 @@ class PathLpResult:
         ]
 
 
+@dataclass
+class ApproxPathLpResult(PathLpResult):
+    """A MinMax placement from the approximate fast path.
+
+    ``utilization_lower_bound <= optimal Umax <= utilization_upper_bound``
+    is a *certificate*: the lower bound comes from LP duality (any
+    non-negative link weighting bounds the optimum from below), the upper
+    bound is the max utilization of the returned feasible placement, so
+    the reported gap holds regardless of how the heuristic converged.
+    """
+
+    utilization_lower_bound: float
+    utilization_upper_bound: float
+    certified_gap: float
+    iterations: int
+
+
+# ----------------------------------------------------------------------
+# Demand-independent structure of one (network, path set) pair
+# ----------------------------------------------------------------------
+class _PathSetStructure:
+    """Vectorized incidence arrays shared by every LP over one path set.
+
+    Everything here depends only on the topology and the path lists —
+    never on demands — so one structure serves every traffic matrix and
+    both MinMax stages.
+    """
+
+    __slots__ = (
+        "n_aggs", "n_paths", "n_links",
+        "path_offsets", "path_counts", "agg_of_path", "path_delay",
+        "shortest_delay", "entry_path", "entry_link", "entry_agg",
+        "link_keys", "capacity_units", "capacity_unit",
+    )
+
+    def __init__(
+        self,
+        network: Network,
+        aggregates: Sequence[Aggregate],
+        path_lists: Sequence[Sequence[Path]],
+    ) -> None:
+        links = list(network.links())
+        self.capacity_unit = (
+            sum(link.capacity_bps for link in links) / len(links)
+        )
+        link_delay = {link.key: link.delay_s for link in links}
+        link_index = {link.key: i for i, link in enumerate(links)}
+        capacity_bps = np.fromiter(
+            (link.capacity_bps for link in links),
+            dtype=np.float64, count=len(links),
+        )
+
+        self.n_aggs = len(aggregates)
+        counts = np.fromiter(
+            (len(paths) for paths in path_lists),
+            dtype=np.int64, count=self.n_aggs,
+        )
+        self.path_counts = counts
+        self.path_offsets = np.zeros(self.n_aggs, dtype=np.int64)
+        np.cumsum(counts[:-1], out=self.path_offsets[1:])
+        self.n_paths = int(counts.sum())
+        self.agg_of_path = np.repeat(
+            np.arange(self.n_aggs, dtype=np.int64), counts
+        )
+
+        # Per-path delay and link entries, computed exactly once: this
+        # loop dominates structure-build time, so it reads link
+        # attributes directly instead of going through path helpers.
+        # Delays are summed sequentially in link order (bit-compatible
+        # with the historical per-path Python sum).
+        delays: List[float] = []
+        entry_path: List[int] = []
+        entry_global: List[int] = []
+        pi = 0
+        for paths in path_lists:
+            for path in paths:
+                keys = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+                delays.append(sum(link_delay[k] for k in keys))
+                entry_path.extend([pi] * len(keys))
+                entry_global.extend(link_index[k] for k in keys)
+                pi += 1
+        self.path_delay = np.asarray(delays, dtype=np.float64)
+        self.shortest_delay = self.path_delay[self.path_offsets]
+        entry_path_arr = np.asarray(entry_path, dtype=np.int64)
+        entry_global_arr = np.asarray(entry_global, dtype=np.int64)
+
+        # Model link order = first-touch order of the (aggregate, path,
+        # link-in-path) traversal, matching the historical
+        # ``load_exprs.setdefault`` insertion order.
+        unique, first_pos = np.unique(entry_global_arr, return_index=True)
+        touch_order = np.argsort(first_pos, kind="stable")
+        model_global = unique[touch_order]
+        remap = np.full(len(links), -1, dtype=np.int64)
+        remap[model_global] = np.arange(model_global.shape[0], dtype=np.int64)
+
+        self.entry_path = entry_path_arr
+        self.entry_link = remap[entry_global_arr]
+        self.entry_agg = self.agg_of_path[entry_path_arr]
+        self.n_links = int(model_global.shape[0])
+        self.link_keys = [links[g].key for g in model_global.tolist()]
+        self.capacity_units = capacity_bps[model_global] / self.capacity_unit
+
+
+#: LRU of path-set structures keyed by (network signature, link insertion
+#: order, aggregate pairs + exact path tuples).  Module-level and
+#: fork-inherited; spawn workers simply start cold.  Demands are not part
+#: of the key — the structure is demand-independent by construction.
+_STRUCTURE_CACHE: "OrderedDict[tuple, _PathSetStructure]" = OrderedDict()
+_STRUCTURE_CACHE_MAX = 32
+_structure_cache_enabled = True
+
+
+def clear_structure_cache() -> None:
+    """Drop every cached path-set structure (benchmarks, tests)."""
+    _STRUCTURE_CACHE.clear()
+
+
+def set_structure_cache_enabled(enabled: bool) -> bool:
+    """Toggle the structure cache; returns the previous setting."""
+    global _structure_cache_enabled
+    previous = _structure_cache_enabled
+    _structure_cache_enabled = bool(enabled)
+    return previous
+
+
+def _structure_for(
+    network: Network,
+    aggregates: Sequence[Aggregate],
+    path_lists: Sequence[Sequence[Path]],
+) -> Tuple[_PathSetStructure, bool]:
+    """The (possibly cached) structure; second element = cache hit.
+
+    The key folds in the link *insertion order* on top of the content
+    signature because ``capacity_unit`` is a float sum over links in
+    insertion order — two equal-content networks enumerated differently
+    would differ in final ulps.
+    """
+    if not _structure_cache_enabled:
+        return _PathSetStructure(network, aggregates, path_lists), False
+    key = (
+        network_signature(network),
+        tuple(link.key for link in network.links()),
+        tuple(
+            (agg.src, agg.dst, tuple(paths))
+            for agg, paths in zip(aggregates, path_lists)
+        ),
+    )
+    cached = _STRUCTURE_CACHE.get(key)
+    if cached is not None:
+        _STRUCTURE_CACHE.move_to_end(key)
+        return cached, True
+    structure = _PathSetStructure(network, aggregates, path_lists)
+    _STRUCTURE_CACHE[key] = structure
+    while len(_STRUCTURE_CACHE) > _STRUCTURE_CACHE_MAX:
+        _STRUCTURE_CACHE.popitem(last=False)
+    return structure, False
+
+
 class _PathLpBuilder:
-    """Common scaffolding for the latency and MinMax path LPs."""
+    """Common scaffolding for the latency and MinMax path LPs.
+
+    One builder = one (network, path sets, demands) triple.  The
+    demand-independent arrays live in a shared cached
+    :class:`_PathSetStructure`; the builder adds the demand-derived
+    vectors and emits :class:`CompiledLP` models.  Both MinMax stages
+    (and any number of re-solves) can share a single builder.
+    """
 
     def __init__(
         self,
@@ -92,128 +275,213 @@ class _PathLpBuilder:
         self.path_sets = {agg: list(paths) for agg, paths in path_sets.items()}
         self.aggregates = list(self.path_sets)
 
-        links = list(network.links())
-        self.capacity_unit = (
-            sum(link.capacity_bps for link in links) / len(links)
+        self.structure, self.structure_warm = _structure_for(
+            network, self.aggregates,
+            [self.path_sets[agg] for agg in self.aggregates],
         )
-        total_flows = sum(agg.n_flows for agg in self.aggregates)
-        self.flow_weight = {
-            agg: agg.n_flows / total_flows for agg in self.aggregates
-        }
+        s = self.structure
+        self.capacity_unit = s.capacity_unit
 
-        # Per-path delay and link list, computed exactly once: these two
-        # loops dominate model-build time, so they read link attributes
-        # directly instead of going through the path helper functions.
-        link_delay = {link.key: link.delay_s for link in links}
-        self._path_links: Dict[Tuple[int, int], List[Tuple[str, str]]] = {}
-        self._path_delay: Dict[Tuple[int, int], float] = {}
-        for ai, agg in enumerate(self.aggregates):
-            for pi, path in enumerate(self.path_sets[agg]):
-                keys = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
-                self._path_links[(ai, pi)] = keys
-                self._path_delay[(ai, pi)] = sum(link_delay[k] for k in keys)
-
-        # Shortest-path delay per aggregate: the first path in each set is
-        # required to be the shortest (KspCache guarantees order).
-        self.shortest_delay = {
-            agg: self._path_delay[(ai, 0)]
-            for ai, agg in enumerate(self.aggregates)
-        }
-        self.delay_unit = sum(
-            self.flow_weight[agg] * self.shortest_delay[agg]
-            for agg in self.aggregates
+        flows = np.fromiter(
+            (agg.n_flows for agg in self.aggregates),
+            dtype=np.int64, count=s.n_aggs,
         )
+        total_flows = int(flows.sum())
+        self.flow_weight = flows / total_flows
+        demand = np.fromiter(
+            (agg.demand_bps for agg in self.aggregates),
+            dtype=np.float64, count=s.n_aggs,
+        )
+        self.demand_units = demand / s.capacity_unit
+
+        # Flow-weighted mean shortest delay, summed sequentially in
+        # aggregate order (bit-compatible with the historical Python sum).
+        self.delay_unit = sum((self.flow_weight * s.shortest_delay).tolist())
         if self.delay_unit <= 0:
             self.delay_unit = 1e-3  # degenerate all-zero-delay network
 
-        self.lp = LinearProgram()
-        self.x: Dict[Tuple[int, int], Variable] = {}
-        for ai, agg in enumerate(self.aggregates):
-            for pi, _ in enumerate(self.path_sets[agg]):
-                self.x[(ai, pi)] = self.lp.variable(f"x[{ai},{pi}]", 0.0, 1.0)
-            expr = LinExpr()
-            for pi in range(len(self.path_sets[agg])):
-                expr.add_term(self.x[(ai, pi)], 1.0)
-            self.lp.add_constraint(expr, "==", 1.0)
+    # ------------------------------------------------------------------
+    def delay_cost(self, with_tiebreak: bool = True) -> np.ndarray:
+        """Figure 12's flow-weighted delay coefficient per x column."""
+        s = self.structure
+        delay = s.path_delay / self.delay_unit
+        weight = self.flow_weight[s.agg_of_path]
+        cost = weight * delay
+        if with_tiebreak:
+            # d_p * M1 / S_a: cheaper to detour aggregates whose shortest
+            # delay is already large.
+            ratio = self.delay_unit / np.maximum(s.shortest_delay, 1e-9)
+            cost = cost + cost * M1_TIEBREAK * ratio[s.agg_of_path]
+        return cost
 
-        # Load expression per used directed link, in capacity units.
-        self.load_exprs: Dict[Tuple[str, str], LinExpr] = {}
-        for ai, agg in enumerate(self.aggregates):
-            demand_units = agg.demand_bps / self.capacity_unit
-            for pi in range(len(self.path_sets[agg])):
-                x_var = self.x[(ai, pi)]
-                for key in self._path_links[(ai, pi)]:
-                    expr = self.load_exprs.setdefault(key, LinExpr())
-                    expr.add_term(x_var, demand_units)
+    def _assignment_coo(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(data, rows, cols) of the sum_p x_ap = 1 rows (rows 0..A-1)."""
+        s = self.structure
+        return (
+            np.ones(s.n_paths),
+            s.agg_of_path,
+            np.arange(s.n_paths, dtype=np.int64),
+        )
 
-    def delay_objective(self, with_tiebreak: bool = True) -> LinExpr:
-        """The flow-weighted delay term of Figure 12 (normalized)."""
-        objective = LinExpr()
-        for ai, agg in enumerate(self.aggregates):
-            weight = self.flow_weight[agg]
-            shortest = max(self.shortest_delay[agg], 1e-9)
-            for pi in range(len(self.path_sets[agg])):
-                delay = self._path_delay[(ai, pi)] / self.delay_unit
-                coefficient = weight * delay
-                if with_tiebreak:
-                    # d_p * M1 / S_a: cheaper to detour aggregates whose
-                    # shortest delay is already large.
-                    coefficient += (
-                        weight * delay * M1_TIEBREAK * (self.delay_unit / shortest)
-                    )
-                objective.add_term(self.x[(ai, pi)], coefficient)
-        return objective
+    def latency_model(self) -> CompiledLP:
+        """The Figure 12 LP; columns = x | Omax | O_l per used link."""
+        s = self.structure
+        p, a, l = s.n_paths, s.n_aggs, s.n_links
+        omax_col = p
+        o_cols = p + 1 + np.arange(l, dtype=np.int64)
+        link_rows = a + 2 * np.arange(l, dtype=np.int64)
+        assign = self._assignment_coo()
+        data = np.concatenate([
+            assign[0],
+            self.demand_units[s.entry_agg],      # load terms
+            -s.capacity_units,                   # -C_l O_l
+            np.ones(l),                          # O_l ...
+            np.full(l, -1.0),                    # ... <= Omax
+        ])
+        rows = np.concatenate([
+            assign[1],
+            a + 2 * s.entry_link,
+            link_rows,
+            link_rows + 1,
+            link_rows + 1,
+        ])
+        cols = np.concatenate([
+            assign[2], s.entry_path, o_cols, o_cols,
+            np.full(l, omax_col, dtype=np.int64),
+        ])
+        senses = np.concatenate([
+            np.full(a, SENSE_EQ, dtype=np.int8),
+            np.full(2 * l, SENSE_LE, dtype=np.int8),
+        ])
+        rhs = np.concatenate([np.ones(a), np.zeros(2 * l)])
+        c = np.concatenate([
+            self.delay_cost(with_tiebreak=True),
+            np.array([M2_MAX_OVERLOAD]),
+            np.full(l, M3_TOTAL_OVERLOAD),
+        ])
+        lower = np.concatenate([np.zeros(p), np.ones(1 + l)])
+        upper = np.concatenate([np.ones(p), np.full(1 + l, np.inf)])
+        return CompiledLP.from_coo(
+            n_variables=p + 1 + l, data=data, rows=rows, cols=cols,
+            senses=senses, rhs=rhs, c=c, lower=lower, upper=upper,
+        )
+
+    def minmax_stage1_model(self) -> CompiledLP:
+        """Stage 1: minimize Umax; columns = x | Umax."""
+        s = self.structure
+        p, a, l = s.n_paths, s.n_aggs, s.n_links
+        umax_col = p
+        assign = self._assignment_coo()
+        data = np.concatenate([
+            assign[0],
+            self.demand_units[s.entry_agg],
+            -s.capacity_units,                   # -C_l Umax
+        ])
+        rows = np.concatenate([
+            assign[1],
+            a + s.entry_link,
+            a + np.arange(l, dtype=np.int64),
+        ])
+        cols = np.concatenate([
+            assign[2], s.entry_path,
+            np.full(l, umax_col, dtype=np.int64),
+        ])
+        senses = np.concatenate([
+            np.full(a, SENSE_EQ, dtype=np.int8),
+            np.full(l, SENSE_LE, dtype=np.int8),
+        ])
+        rhs = np.concatenate([np.ones(a), np.zeros(l)])
+        c = np.zeros(p + 1)
+        c[umax_col] = 1.0
+        lower = np.zeros(p + 1)
+        upper = np.concatenate([np.ones(p), np.array([np.inf])])
+        return CompiledLP.from_coo(
+            n_variables=p + 1, data=data, rows=rows, cols=cols,
+            senses=senses, rhs=rhs, c=c, lower=lower, upper=upper,
+        )
+
+    def minmax_stage2_model(self, cap: float) -> CompiledLP:
+        """Stage 2: minimize delay with loads capped at ``cap``."""
+        s = self.structure
+        p, a = s.n_paths, s.n_aggs
+        assign = self._assignment_coo()
+        data = np.concatenate([assign[0], self.demand_units[s.entry_agg]])
+        rows = np.concatenate([assign[1], a + s.entry_link])
+        cols = np.concatenate([assign[2], s.entry_path])
+        senses = np.concatenate([
+            np.full(a, SENSE_EQ, dtype=np.int8),
+            np.full(s.n_links, SENSE_LE, dtype=np.int8),
+        ])
+        rhs = np.concatenate([np.ones(a), s.capacity_units * cap])
+        return CompiledLP.from_coo(
+            n_variables=p, data=data, rows=rows, cols=cols,
+            senses=senses, rhs=rhs, c=self.delay_cost(with_tiebreak=True),
+            lower=np.zeros(p), upper=np.ones(p),
+        )
 
     def extract_fractions(
-        self, solution
+        self, solution: Solution
     ) -> Dict[Aggregate, List[Tuple[Path, float]]]:
+        """Per-aggregate (path, fraction) splits via one vectorized slice."""
+        values = solution.x[: self.structure.n_paths].tolist()
         fractions: Dict[Aggregate, List[Tuple[Path, float]]] = {}
-        for ai, agg in enumerate(self.aggregates):
-            splits = [
-                (path, solution.value(self.x[(ai, pi)]))
-                for pi, path in enumerate(self.path_sets[agg])
-            ]
-            fractions[agg] = splits
+        position = 0
+        for agg in self.aggregates:
+            paths = self.path_sets[agg]
+            fractions[agg] = list(zip(paths, values[position:position + len(paths)]))
+            position += len(paths)
         return fractions
+
+    def _assemble_attrs(self) -> Optional[dict]:
+        recorder = _recorder()
+        if not recorder.enabled:
+            return None
+        return {
+            "backend": resolve_backend(),
+            "warm": self.structure_warm,
+            "n_paths": self.structure.n_paths,
+            "n_links": self.structure.n_links,
+        }
+
+
+def _placement_utilization(
+    network: Network,
+    fractions: Dict[Aggregate, List[Tuple[Path, float]]],
+) -> Dict[Tuple[str, str], float]:
+    """Raw per-link utilization of a fractional placement."""
+    link_loads: Dict[Tuple[str, str], float] = {}
+    for agg, splits in fractions.items():
+        for path, fraction in splits:
+            for key in path_links(path):
+                link_loads[key] = (
+                    link_loads.get(key, 0.0) + fraction * agg.demand_bps
+                )
+    return {
+        key: load / network.link(*key).capacity_bps
+        for key, load in link_loads.items()
+    }
 
 
 def solve_latency_lp(
     network: Network,
     path_sets: Mapping[Aggregate, Sequence[Path]],
+    builder: Optional[_PathLpBuilder] = None,
 ) -> PathLpResult:
     """One solve of the Figure 12 latency-optimization LP."""
-    builder = _PathLpBuilder(network, path_sets)
-    lp = builder.lp
+    if builder is None:
+        builder = _PathLpBuilder(network, path_sets)
+    with _recorder().span("lp_assemble", builder._assemble_attrs()):
+        model = builder.latency_model()
+    solution = model.solve()
 
-    omax = lp.variable("Omax", lower=1.0)
-    overload: Dict[Tuple[str, str], Variable] = {}
-    for key, load_expr in builder.load_exprs.items():
-        o_l = lp.variable(f"O[{key[0]}->{key[1]}]", lower=1.0)
-        overload[key] = o_l
-        capacity_units = network.link(*key).capacity_bps / builder.capacity_unit
-        # sum_a sum_p x_ap B_a <= C_l O_l
-        constraint = LinExpr(dict(load_expr.terms))
-        constraint.add_term(o_l, -capacity_units)
-        lp.add_constraint(constraint, "<=", 0.0)
-        # O_l <= Omax
-        bound = LinExpr({o_l: 1.0})
-        bound.add_term(omax, -1.0)
-        lp.add_constraint(bound, "<=", 0.0)
-
-    objective = builder.delay_objective(with_tiebreak=True)
-    objective.add_term(omax, M2_MAX_OVERLOAD)
-    for o_l in overload.values():
-        objective.add_term(o_l, M3_TOTAL_OVERLOAD)
-    lp.minimize(objective)
-
-    solution = lp.solve()
-    link_overload = {
-        key: solution.value(var) for key, var in overload.items()
-    }
+    s = builder.structure
+    overload_values = solution.x[s.n_paths + 1:].tolist()
     return PathLpResult(
         fractions=builder.extract_fractions(solution),
-        link_overload=link_overload,
-        max_overload=solution.value(omax),
+        link_overload=dict(zip(s.link_keys, overload_values)),
+        max_overload=float(solution.x[s.n_paths]),
         objective=solution.objective,
     )
 
@@ -222,6 +490,7 @@ def solve_minmax_lp(
     network: Network,
     path_sets: Mapping[Aggregate, Sequence[Path]],
     utilization_cap: Optional[float] = None,
+    builder: Optional[_PathLpBuilder] = None,
 ) -> Tuple[PathLpResult, float]:
     """The MinMax two-stage LP over the given path sets.
 
@@ -231,42 +500,27 @@ def solve_minmax_lp(
     utilization.  Returns the placement and the achieved Umax.
 
     ``utilization_cap`` can preseed a known-optimal stage-1 value (used by
-    the iterative full-MinMax driver to skip re-deriving it).
+    the iterative full-MinMax driver to skip re-deriving it).  Both stages
+    share one builder — and therefore one set of incidence arrays — so
+    stage 2 costs only its own numpy assembly and solve.
     """
+    if builder is None:
+        builder = _PathLpBuilder(network, path_sets)
     if utilization_cap is None:
-        stage1 = _PathLpBuilder(network, path_sets)
-        umax = stage1.lp.variable("Umax", lower=0.0)
-        for key, load_expr in stage1.load_exprs.items():
-            capacity_units = (
-                network.link(*key).capacity_bps / stage1.capacity_unit
-            )
-            constraint = LinExpr(dict(load_expr.terms))
-            constraint.add_term(umax, -capacity_units)
-            stage1.lp.add_constraint(constraint, "<=", 0.0)
-        stage1.lp.minimize(LinExpr({umax: 1.0}))
-        utilization_cap = stage1.lp.solve().value(umax)
+        with _recorder().span("lp_assemble", builder._assemble_attrs()):
+            stage1 = builder.minmax_stage1_model()
+        utilization_cap = float(
+            stage1.solve().x[builder.structure.n_paths]
+        )
 
-    stage2 = _PathLpBuilder(network, path_sets)
     cap = utilization_cap * (1.0 + 1e-6) + 1e-9
-    for key, load_expr in stage2.load_exprs.items():
-        capacity_units = network.link(*key).capacity_bps / stage2.capacity_unit
-        stage2.lp.add_constraint(load_expr, "<=", capacity_units * cap)
-    stage2.lp.minimize(stage2.delay_objective(with_tiebreak=True))
-    solution = stage2.lp.solve()
+    with _recorder().span("lp_assemble", builder._assemble_attrs()):
+        stage2 = builder.minmax_stage2_model(cap)
+    solution = stage2.solve()
 
-    fractions = stage2.extract_fractions(solution)
+    fractions = builder.extract_fractions(solution)
     # Report per-link utilization of the final placement.
-    link_loads: Dict[Tuple[str, str], float] = {}
-    for agg, splits in fractions.items():
-        for path, fraction in splits:
-            for key in path_links(path):
-                link_loads[key] = (
-                    link_loads.get(key, 0.0) + fraction * agg.demand_bps
-                )
-    link_util = {
-        key: load / network.link(*key).capacity_bps
-        for key, load in link_loads.items()
-    }
+    link_util = _placement_utilization(network, fractions)
     result = PathLpResult(
         fractions=fractions,
         # Raw utilizations (not clipped at 1): MinMax callers need to see
@@ -276,3 +530,151 @@ def solve_minmax_lp(
         objective=solution.objective,
     )
     return result, utilization_cap
+
+
+def solve_minmax_approx(
+    network: Network,
+    path_sets: Mapping[Aggregate, Sequence[Path]],
+    target_gap: float = 0.05,
+    max_iterations: int = 300,
+    builder: Optional[_PathLpBuilder] = None,
+) -> Tuple[ApproxPathLpResult, float]:
+    """Approximate MinMax with a certified optimality gap.
+
+    Frank-Wolfe-style iterative splitting: each round shifts a step of
+    every aggregate onto its cheapest path under softmax link prices
+    concentrated on the hottest links.  Every round also evaluates the
+    LP dual bound ``sum_a d_a min_p cost_p(y) / sum_l c_l y_l`` — valid
+    for *any* non-negative price vector y — so the returned
+    ``certified_gap`` between the best feasible placement (upper bound)
+    and the best dual value (lower bound) brackets the exact optimum no
+    matter how far the heuristic got.  Terminates at ``target_gap`` or
+    ``max_iterations``, whichever comes first; the certificate holds
+    either way.
+
+    Wholly deterministic: fixed step schedule, first-index tie breaks.
+    Returns ``(result, upper_bound)`` mirroring :func:`solve_minmax_lp`.
+    """
+    if target_gap <= 0:
+        raise ValueError(f"target_gap must be positive, got {target_gap}")
+    if builder is None:
+        builder = _PathLpBuilder(network, path_sets)
+    s = builder.structure
+    n_paths, n_links = s.n_paths, s.n_links
+    demand = builder.demand_units
+    capacity = s.capacity_units
+    entry_weight = demand[s.entry_agg]
+    path_index = np.arange(n_paths, dtype=np.int64)
+
+    # Start from all-shortest-paths (the first path of each set).
+    x = np.zeros(n_paths)
+    x[s.path_offsets] = 1.0
+    best_x = x.copy()
+    best_ub = math.inf
+    best_lb = 0.0
+    gap = math.inf
+    # Moderate sharpness for the step direction (spreads flow over a
+    # congested cut instead of chasing one link), a geometric ladder of
+    # sharpness levels for the dual bound: LB(y) is valid for *any*
+    # non-negative prices, so we simply keep the best.  The iterate
+    # oscillates through short phases and the sharp-price bound peaks on
+    # the phase that isolates the true bottleneck cut, so one ladder rung
+    # is tried every round; the cycle period (4) is chosen coprime to the
+    # typical phase period (~3) so every (phase, sharpness) pair gets
+    # sampled.
+    base = math.log(max(n_links, 2))
+    eta_dir = 2.0 * base
+    eta_cycle = [8.0 * base, 32.0 * base, 128.0 * base, 4.0 * base]
+    eta_ladder = [eta_dir] + eta_cycle
+    iterations = 0
+
+    def dual_bound(
+        utilization: np.ndarray, umax: float, etas: Sequence[float]
+    ) -> float:
+        """Best certified lower bound over the given sharpness levels."""
+        best = 0.0
+        for eta in etas:
+            prices = np.exp(eta * (utilization / umax - 1.0))
+            price_mass = float(capacity @ prices)
+            cost = np.bincount(
+                s.entry_path, weights=prices[s.entry_link],
+                minlength=n_paths,
+            )
+            cheapest = np.minimum.reduceat(cost, s.path_offsets)
+            best = max(best, float(demand @ cheapest) / price_mass)
+        return best
+
+    util_sum = np.zeros(n_links)
+    for t in range(max_iterations):
+        iterations = t + 1
+        loads = np.bincount(
+            s.entry_link, weights=x[s.entry_path] * entry_weight,
+            minlength=n_links,
+        )
+        utilization = loads / capacity
+        util_sum += utilization
+        umax = float(utilization.max())
+        if umax < best_ub:
+            best_ub = umax
+            best_x = x.copy()
+        if umax <= 0.0:
+            best_lb = 0.0
+            gap = 0.0
+            break
+
+        # Step direction: softmax prices over the current profile.
+        prices = np.exp(eta_dir * (utilization / umax - 1.0))
+        path_cost = np.bincount(
+            s.entry_path, weights=prices[s.entry_link], minlength=n_paths
+        )
+        cheapest = np.minimum.reduceat(path_cost, s.path_offsets)
+        # Two dual candidates per round: the direction prices come for
+        # free (cost vector already computed), plus one cycling rung of
+        # the sharpness ladder.
+        direction_lb = (
+            float(demand @ cheapest) / float(capacity @ prices)
+        )
+        best_lb = max(
+            best_lb,
+            direction_lb,
+            dual_bound(utilization, umax, eta_cycle[t % 4 : t % 4 + 1]),
+        )
+        # The time-averaged profile's prices converge to near-optimal
+        # duals; it moves slowly, so sample it sparsely.
+        if t % 8 == 7 or t == max_iterations - 1:
+            mean_util = util_sum / iterations
+            mean_max = float(mean_util.max())
+            if mean_max > 0.0:
+                best_lb = max(
+                    best_lb, dual_bound(mean_util, mean_max, eta_ladder)
+                )
+        gap = (best_ub - best_lb) / best_lb if best_lb > 0 else math.inf
+        if gap <= target_gap:
+            break
+
+        # Frank-Wolfe step toward each aggregate's cheapest path (first
+        # index wins ties, deterministically).
+        candidate = np.where(
+            path_cost <= np.repeat(cheapest, s.path_counts) * (1.0 + 1e-12),
+            path_index, n_paths,
+        )
+        pick = np.minimum.reduceat(candidate, s.path_offsets)
+        step = 2.0 / (t + 3.0)
+        x *= 1.0 - step
+        x[pick] += step
+
+    fractions = builder.extract_fractions(
+        Solution(objective=best_ub, _values=best_x)
+    )
+    link_util = _placement_utilization(network, fractions)
+    result = ApproxPathLpResult(
+        fractions=fractions,
+        link_overload=link_util,
+        max_overload=max(1.0, max(link_util.values(), default=0.0)),
+        objective=best_ub,
+        utilization_lower_bound=best_lb,
+        utilization_upper_bound=best_ub,
+        certified_gap=gap,
+        iterations=iterations,
+    )
+    return result, best_ub

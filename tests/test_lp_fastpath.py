@@ -1,0 +1,497 @@
+"""The LP hot path: compiled reuse, backends, and the approximate solver.
+
+Three layers:
+
+* **byte-identity properties** — the vectorized assembly in
+  :mod:`repro.routing.pathlp` must produce *bit-identical* results to the
+  scalar, build-per-solve reference implementation it replaced (ported
+  below as ``_legacy_*``), with the structure cache on, off, or shared
+  across solves, and under every available backend;
+* **CompiledLP unit tests** — payload mutation keeps warm state,
+  structural mutation invalidates it, and the bulk builder APIs agree
+  with the scalar ones;
+* **approximate fast path** — the certified bounds bracket the exact
+  optimum and the heuristic is deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lp import (
+    BACKEND_ENV,
+    CompiledLP,
+    InfeasibleError,
+    LinearProgram,
+    LinExpr,
+    Solution,
+    UnboundedError,
+    available_backends,
+    resolve_backend,
+)
+from repro.net.paths import KspCache
+from repro.net.units import Gbps
+from repro.routing.minmax import MinMaxRouting
+from repro.routing.pathlp import (
+    M1_TIEBREAK,
+    M2_MAX_OVERLOAD,
+    M3_TOTAL_OVERLOAD,
+    clear_structure_cache,
+    set_structure_cache_enabled,
+    solve_latency_lp,
+    solve_minmax_approx,
+    solve_minmax_lp,
+)
+from repro.tm.matrix import Aggregate
+from tests.conftest import loaded_gts_tm
+
+
+# ----------------------------------------------------------------------
+# Legacy reference: the scalar, build-per-solve assembly this PR replaced
+# (verbatim port, minus docstrings).  The vectorized path must match it
+# bit for bit.
+# ----------------------------------------------------------------------
+class _LegacyBuilder:
+    def __init__(self, network, path_sets):
+        self.network = network
+        self.path_sets = {agg: list(paths) for agg, paths in path_sets.items()}
+        self.aggregates = list(self.path_sets)
+        links = list(network.links())
+        self.capacity_unit = (
+            sum(link.capacity_bps for link in links) / len(links)
+        )
+        total_flows = sum(agg.n_flows for agg in self.aggregates)
+        self.flow_weight = {
+            agg: agg.n_flows / total_flows for agg in self.aggregates
+        }
+        link_delay = {link.key: link.delay_s for link in links}
+        self._path_links = {}
+        self._path_delay = {}
+        for ai, agg in enumerate(self.aggregates):
+            for pi, path in enumerate(self.path_sets[agg]):
+                keys = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+                self._path_links[(ai, pi)] = keys
+                self._path_delay[(ai, pi)] = sum(link_delay[k] for k in keys)
+        self.shortest_delay = {
+            agg: self._path_delay[(ai, 0)]
+            for ai, agg in enumerate(self.aggregates)
+        }
+        self.delay_unit = sum(
+            self.flow_weight[agg] * self.shortest_delay[agg]
+            for agg in self.aggregates
+        )
+        if self.delay_unit <= 0:
+            self.delay_unit = 1e-3
+
+        self.lp = LinearProgram()
+        self.x = {}
+        for ai, agg in enumerate(self.aggregates):
+            for pi, _ in enumerate(self.path_sets[agg]):
+                self.x[(ai, pi)] = self.lp.variable(f"x[{ai},{pi}]", 0.0, 1.0)
+            expr = LinExpr()
+            for pi in range(len(self.path_sets[agg])):
+                expr.add_term(self.x[(ai, pi)], 1.0)
+            self.lp.add_constraint(expr, "==", 1.0)
+
+        self.load_exprs = {}
+        for ai, agg in enumerate(self.aggregates):
+            demand_units = agg.demand_bps / self.capacity_unit
+            for pi in range(len(self.path_sets[agg])):
+                x_var = self.x[(ai, pi)]
+                for key in self._path_links[(ai, pi)]:
+                    expr = self.load_exprs.setdefault(key, LinExpr())
+                    expr.add_term(x_var, demand_units)
+
+    def delay_objective(self):
+        objective = LinExpr()
+        for ai, agg in enumerate(self.aggregates):
+            weight = self.flow_weight[agg]
+            shortest = max(self.shortest_delay[agg], 1e-9)
+            for pi in range(len(self.path_sets[agg])):
+                delay = self._path_delay[(ai, pi)] / self.delay_unit
+                coefficient = weight * delay
+                coefficient += (
+                    weight * delay * M1_TIEBREAK * (self.delay_unit / shortest)
+                )
+                objective.add_term(self.x[(ai, pi)], coefficient)
+        return objective
+
+    def extract_fractions(self, solution):
+        return {
+            agg: [
+                (path, solution.value(self.x[(ai, pi)]))
+                for pi, path in enumerate(self.path_sets[agg])
+            ]
+            for ai, agg in enumerate(self.aggregates)
+        }
+
+
+def _legacy_latency(network, path_sets):
+    builder = _LegacyBuilder(network, path_sets)
+    lp = builder.lp
+    omax = lp.variable("Omax", lower=1.0)
+    overload = {}
+    for key, load_expr in builder.load_exprs.items():
+        o_l = lp.variable(f"O[{key[0]}->{key[1]}]", lower=1.0)
+        overload[key] = o_l
+        capacity_units = network.link(*key).capacity_bps / builder.capacity_unit
+        constraint = LinExpr(dict(load_expr.terms))
+        constraint.add_term(o_l, -capacity_units)
+        lp.add_constraint(constraint, "<=", 0.0)
+        bound = LinExpr({o_l: 1.0})
+        bound.add_term(omax, -1.0)
+        lp.add_constraint(bound, "<=", 0.0)
+    objective = builder.delay_objective()
+    objective.add_term(omax, M2_MAX_OVERLOAD)
+    for o_l in overload.values():
+        objective.add_term(o_l, M3_TOTAL_OVERLOAD)
+    lp.minimize(objective)
+    solution = lp.solve()
+    link_overload = {key: solution.value(var) for key, var in overload.items()}
+    return (
+        builder.extract_fractions(solution),
+        link_overload,
+        solution.value(omax),
+        solution.objective,
+    )
+
+
+def _legacy_minmax(network, path_sets):
+    stage1 = _LegacyBuilder(network, path_sets)
+    umax = stage1.lp.variable("Umax", lower=0.0)
+    for key, load_expr in stage1.load_exprs.items():
+        capacity_units = network.link(*key).capacity_bps / stage1.capacity_unit
+        constraint = LinExpr(dict(load_expr.terms))
+        constraint.add_term(umax, -capacity_units)
+        stage1.lp.add_constraint(constraint, "<=", 0.0)
+    stage1.lp.minimize(LinExpr({umax: 1.0}))
+    utilization_cap = stage1.lp.solve().value(umax)
+
+    stage2 = _LegacyBuilder(network, path_sets)
+    cap = utilization_cap * (1.0 + 1e-6) + 1e-9
+    for key, load_expr in stage2.load_exprs.items():
+        capacity_units = network.link(*key).capacity_bps / stage2.capacity_unit
+        stage2.lp.add_constraint(load_expr, "<=", capacity_units * cap)
+    stage2.lp.minimize(stage2.delay_objective())
+    solution = stage2.lp.solve()
+    return stage2.extract_fractions(solution), utilization_cap
+
+
+def _paper_case(gts):
+    """A figs-4/16-style case: K=10 path sets over a paper workload."""
+    tm = loaded_gts_tm(gts)
+    cache = KspCache(gts)
+    return {
+        agg: list(cache.get(agg.src, agg.dst, 10)) for agg in tm.aggregates()
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_structure_cache():
+    clear_structure_cache()
+    yield
+    set_structure_cache_enabled(True)
+    clear_structure_cache()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity properties
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    def test_latency_matches_legacy_exactly(self, gts):
+        path_sets = _paper_case(gts)
+        ref_fracs, ref_overload, ref_omax, ref_obj = _legacy_latency(
+            gts, path_sets
+        )
+        result = solve_latency_lp(gts, path_sets)
+        assert result.fractions == ref_fracs
+        assert result.link_overload == ref_overload
+        assert result.max_overload == ref_omax
+        assert result.objective == ref_obj
+
+    def test_minmax_matches_legacy_exactly(self, gts):
+        path_sets = _paper_case(gts)
+        ref_fracs, ref_cap = _legacy_minmax(gts, path_sets)
+        result, cap = solve_minmax_lp(gts, path_sets)
+        assert result.fractions == ref_fracs
+        assert cap == ref_cap
+
+    def test_structure_cache_changes_nothing(self, gts):
+        path_sets = _paper_case(gts)
+        set_structure_cache_enabled(False)
+        cold = solve_latency_lp(gts, path_sets)
+        set_structure_cache_enabled(True)
+        clear_structure_cache()
+        miss = solve_latency_lp(gts, path_sets)  # populates the cache
+        hit = solve_latency_lp(gts, path_sets)  # warm structure
+        for warm in (miss, hit):
+            assert warm.fractions == cold.fractions
+            assert warm.link_overload == cold.link_overload
+            assert warm.max_overload == cold.max_overload
+            assert warm.objective == cold.objective
+
+    def test_shared_builder_warm_equals_cold(self, gts):
+        path_sets = _paper_case(gts)
+        set_structure_cache_enabled(False)
+        cold = solve_minmax_lp(gts, path_sets)
+        set_structure_cache_enabled(True)
+        warm = solve_minmax_lp(gts, path_sets)
+        assert warm[0].fractions == cold[0].fractions
+        assert warm[1] == cold[1]
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_backends_bit_identical(self, gts, backend, monkeypatch):
+        path_sets = _paper_case(gts)
+        monkeypatch.setenv(BACKEND_ENV, "scipy")
+        reference = solve_latency_lp(gts, path_sets)
+        clear_structure_cache()
+        monkeypatch.setenv(BACKEND_ENV, backend)
+        other = solve_latency_lp(gts, path_sets)
+        assert other.fractions == reference.fractions
+        assert other.objective == reference.objective
+
+    def test_toy_latency_matches_legacy(self, diamond):
+        agg = Aggregate("s", "t", Gbps(20))
+        path_sets = {agg: [("s", "x", "t"), ("s", "y", "t")]}
+        ref_fracs, ref_overload, ref_omax, ref_obj = _legacy_latency(
+            diamond, path_sets
+        )
+        result = solve_latency_lp(diamond, path_sets)
+        assert result.fractions == ref_fracs
+        assert result.link_overload == ref_overload
+        assert result.max_overload == ref_omax
+        assert result.objective == ref_obj
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_resolve_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() in ("scipy", "highs")
+        assert resolve_backend("scipy") == "scipy"
+        monkeypatch.setenv(BACKEND_ENV, "scipy")
+        assert resolve_backend() == "scipy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            resolve_backend("gurobi")
+
+    def test_available_backends_always_has_scipy(self):
+        assert "scipy" in available_backends()
+
+    @pytest.mark.skipif(
+        "highs" in available_backends(), reason="highspy installed"
+    )
+    def test_explicit_highs_without_package_errors(self):
+        with pytest.raises(RuntimeError, match="highspy"):
+            resolve_backend("highs")
+
+
+# ----------------------------------------------------------------------
+# CompiledLP
+# ----------------------------------------------------------------------
+def _small_lp():
+    """min x + 2y  s.t.  x + y >= 2,  y <= 4,  0 <= x,y."""
+    lp = LinearProgram()
+    x = lp.variable("x")
+    y = lp.variable("y")
+    lp.add_constraint(LinExpr({x: 1.0, y: 1.0}), ">=", 2.0)
+    lp.add_constraint(LinExpr({y: 1.0}), "<=", 4.0)
+    lp.minimize(LinExpr({x: 1.0, y: 2.0}))
+    return lp, x, y
+
+
+class TestCompiledLP:
+    def test_compile_once_solve_many(self):
+        lp, x, y = _small_lp()
+        compiled = lp.compile()
+        assert not compiled.warm
+        first = compiled.solve()
+        assert compiled.warm
+        assert first.value(x) == pytest.approx(2.0)
+        again = compiled.solve()  # warm repeat: identical
+        assert again.x.tolist() == first.x.tolist()
+        assert again.objective == first.objective
+
+    def test_set_rhs_keeps_warm_state(self):
+        lp, x, y = _small_lp()
+        compiled = lp.compile()
+        compiled.solve()
+        compiled.set_rhs([0], [6.0])  # x + y >= 6 now
+        assert compiled.warm
+        moved = compiled.solve()
+        assert moved.value(x) == pytest.approx(6.0)
+
+    def test_set_objective_and_bounds(self):
+        lp, x, y = _small_lp()
+        compiled = lp.compile()
+        compiled.set_objective(None, [2.0, 1.0])  # now prefer y
+        compiled.set_variable_bounds([1], upper=1.5)
+        solution = compiled.solve()
+        assert solution.value(y) == pytest.approx(1.5)
+        assert solution.value(x) == pytest.approx(0.5)
+
+    def test_scale_columns_invalidates_warmth(self):
+        lp, x, y = _small_lp()
+        compiled = lp.compile()
+        compiled.solve()
+        compiled.scale_columns([0], [2.0])  # 2x + y >= 2
+        assert not compiled.warm
+        solution = compiled.solve()
+        assert solution.value(x) == pytest.approx(1.0)
+
+    def test_add_rows_and_columns(self):
+        lp, x, y = _small_lp()
+        compiled = lp.compile()
+        compiled.solve()
+        compiled.add_rows([1.0], [0], [0], ">=", [1.0])  # x >= 1
+        assert not compiled.warm
+        assert compiled.n_rows == 3
+        solution = compiled.solve()
+        assert solution.value(x) == pytest.approx(2.0)
+        # A new column that relaxes the >= row with zero cost: unbounded
+        # usefulness is capped by its upper bound.
+        z = compiled.add_columns(
+            1, lower=0.0, upper=1.0, objective=0.0,
+            data=[1.0], rows=[0], cols=[0],
+        )
+        assert z == 2
+        assert compiled.n_variables == 3
+        solution = compiled.solve()
+        assert solution.x[z] == pytest.approx(1.0)
+        assert solution.value(x) == pytest.approx(1.0)
+
+    def test_bulk_builder_matches_scalar(self):
+        scalar, x, y = _small_lp()
+        bulk = LinearProgram()
+        start = bulk.add_variables(2)
+        bulk.add_rows(
+            [1.0, 1.0, 1.0], [0, 0, 1], [start, start + 1, start + 1],
+            [">=", "<="], [2.0, 4.0],
+        )
+        bulk.minimize_coefficients([1.0, 2.0])
+        a, b = scalar.solve(), bulk.solve()
+        assert a.x.tolist() == b.x.tolist()
+        assert a.objective == b.objective
+
+    def test_infeasible_and_unbounded(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=1.0)
+        lp.add_constraint(LinExpr({x: 1.0}), ">=", 2.0)
+        lp.minimize(LinExpr({x: 1.0}))
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+        free = LinearProgram()
+        x = free.variable("x")
+        free.minimize(LinExpr({x: -1.0}))
+        with pytest.raises(UnboundedError):
+            free.solve()
+
+    def test_objective_required(self):
+        lp = LinearProgram()
+        lp.variable("x")
+        with pytest.raises(ValueError, match="no objective"):
+            lp.solve()
+
+    def test_solution_values_vectorized(self):
+        lp, x, y = _small_lp()
+        solution = lp.solve()
+        assert solution.values([y, x]) == [
+            solution.value(y), solution.value(x),
+        ]
+        assert solution.values([]) == []
+
+    def test_from_coo_drops_exact_zeros(self):
+        compiled = CompiledLP.from_coo(
+            2,
+            np.array([1.0, 0.0, 1.0]),
+            np.array([0, 0, 1]),
+            np.array([0, 1, 1]),
+            np.full(2, 0, dtype=np.int8),
+            np.array([1.0, 1.0]),
+            np.array([-1.0, -1.0]),
+            np.zeros(2),
+            np.full(2, np.inf),
+        )
+        assert compiled._a.nnz == 2
+
+
+# ----------------------------------------------------------------------
+# Approximate fast path
+# ----------------------------------------------------------------------
+class TestApprox:
+    def test_bounds_bracket_exact(self, gts):
+        path_sets = _paper_case(gts)
+        _, exact_cap = solve_minmax_lp(gts, path_sets)
+        result, ub = solve_minmax_approx(gts, path_sets, target_gap=0.05)
+        assert result.utilization_lower_bound - 1e-9 <= exact_cap
+        assert exact_cap <= result.utilization_upper_bound + 1e-9
+        assert result.utilization_upper_bound == ub
+        assert result.certified_gap >= 0.0
+        assert math.isfinite(result.certified_gap)
+        assert result.iterations >= 1
+
+    def test_gap_definition_holds(self, diamond):
+        agg = Aggregate("s", "t", Gbps(10))
+        path_sets = {agg: [("s", "x", "t"), ("s", "y", "t")]}
+        result, _ = solve_minmax_approx(diamond, path_sets, target_gap=0.01)
+        lb = result.utilization_lower_bound
+        ub = result.utilization_upper_bound
+        assert result.certified_gap == (ub - lb) / lb
+
+    def test_deterministic(self, gts):
+        path_sets = _paper_case(gts)
+        first, _ = solve_minmax_approx(gts, path_sets)
+        second, _ = solve_minmax_approx(gts, path_sets)
+        assert first.fractions == second.fractions
+        assert first.certified_gap == second.certified_gap
+        assert first.iterations == second.iterations
+
+    def test_target_gap_validated(self, diamond):
+        agg = Aggregate("s", "t", Gbps(1))
+        with pytest.raises(ValueError, match="target_gap"):
+            solve_minmax_approx(
+                diamond, {agg: [("s", "x", "t")]}, target_gap=0.0
+            )
+
+    def test_fractions_are_a_valid_placement(self, gts):
+        path_sets = _paper_case(gts)
+        result, _ = solve_minmax_approx(gts, path_sets)
+        for agg, splits in result.fractions.items():
+            total = sum(fraction for _, fraction in splits)
+            assert total == pytest.approx(1.0)
+            assert all(fraction >= -1e-12 for _, fraction in splits)
+
+
+# ----------------------------------------------------------------------
+# Scheme plumbing
+# ----------------------------------------------------------------------
+class TestSchemeIntegration:
+    def test_minmax_approx_params_validated(self):
+        with pytest.raises(ValueError, match="approx_gap"):
+            MinMaxRouting(k=10, approx_gap=-0.1)
+        with pytest.raises(ValueError, match="exact"):
+            MinMaxRouting(approx_gap=0.05)  # full MinMax stays exact
+
+    def test_minmax_approx_name_and_certificate(self, gts, gts_tm):
+        scheme = MinMaxRouting(k=10, approx_gap=0.05, cache=KspCache(gts))
+        assert scheme.name == "MinMaxK10~0.05"
+        scheme.place(gts, gts_tm)
+        assert scheme.last_certified_gap is not None
+        lb, ub = scheme.last_utilization_bounds
+        assert lb <= ub
+
+    def test_registry_builds_approx_spec(self, gts, gts_tm):
+        from repro.experiments.spec import SchemeSpec
+        from repro.experiments.workloads import NetworkWorkload
+
+        spec = SchemeSpec("MinMaxK10Approx", {"approx_gap": 0.1})
+        item = NetworkWorkload(
+            network=gts, llpd=0.0, matrices=[gts_tm], cache=KspCache(gts)
+        )
+        scheme = spec(item)
+        assert isinstance(scheme, MinMaxRouting)
+        assert scheme.approx_gap == 0.1
