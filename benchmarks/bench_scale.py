@@ -1,0 +1,157 @@
+"""Scaling curve for the integer-indexed sparse graph core.
+
+Synthesizes Internet-like topologies at 100 / 1 000 / 10 000 nodes and
+records, per size:
+
+* ``GraphIndex`` build time (and nodes/second),
+* a single-source shortest-path sweep, legacy vs indexed — the indexed
+  core must be at least as fast at *every* size (the whole point of the
+  CSR rewrite), verified path-for-path against the legacy oracle,
+* Yen's KSP cold vs warm through a locality-pruned :class:`KspCache`
+  (warm must beat cold; the pruned-pair count is recorded),
+* an end-to-end single-scheme (SP) evaluation over a region-aggregated
+  sparse gravity matrix — the "a 10k-node eval actually completes"
+  criterion.
+
+The numeric series lands in ``BENCH_scale.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import assert_warm_beats_cold, record_bench_json
+from repro.net.index import GraphIndex, LocalityPruner
+from repro.net.ingest import synthesize_internet_like
+from repro.net.paths import KspCache, legacy_shortest_path_delays
+from repro.routing.shortest_path import ShortestPathRouting
+from repro.tm.gravity import sparse_gravity_traffic_matrix
+from repro.tm.regions import maybe_aggregate
+
+SIZES = [100, 1_000, 10_000]
+SEED = 42
+N_SWEEP_SOURCES = 5
+SWEEP_REPEATS = 3
+KSP_PAIRS = 4
+KSP_K = 2
+#: Pair budget for the end-to-end eval: small enough that the 10k-node
+#: run finishes in seconds, large enough to exercise aggregation.
+EVAL_MAX_PAIRS = 512
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(n_nodes: int) -> dict:
+    network = synthesize_internet_like(n_nodes, seed=SEED)
+    names = sorted(network.node_names)
+
+    t0 = time.perf_counter()
+    index = GraphIndex(network)
+    build_s = time.perf_counter() - t0
+
+    sources = names[:N_SWEEP_SOURCES]
+    legacy_sweep_s = _best_of(
+        SWEEP_REPEATS,
+        lambda: [legacy_shortest_path_delays(network, src) for src in sources],
+    )
+    sparse_sweep_s = _best_of(
+        SWEEP_REPEATS,
+        lambda: [index.shortest_path_delays(src) for src in sources],
+    )
+    # Parity spot-check: the speedup must not change a single answer.
+    assert index.shortest_path_delays(sources[0]) == legacy_shortest_path_delays(
+        network, sources[0]
+    )
+
+    # KSP cold vs warm through a locality-pruned cache.  The radius is the
+    # median single-sweep delay, so distant pairs genuinely get clamped.
+    delays = index.shortest_path_delays(sources[0])
+    radius_s = float(np.median(list(delays.values())))
+    pruner = LocalityPruner(network, radius_s=radius_s)
+    pairs = [(names[i], names[-1 - i]) for i in range(KSP_PAIRS)]
+    cache = KspCache(network, pruner=pruner)
+    t0 = time.perf_counter()
+    for src, dst in pairs:
+        cache.get(src, dst, KSP_K)
+    ksp_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for src, dst in pairs:
+        cache.get(src, dst, KSP_K)
+    ksp_warm_s = time.perf_counter() - t0
+    assert_warm_beats_cold(ksp_cold_s, ksp_warm_s, f"scale[{n_nodes}]")
+    pruned_pairs = sum(1 for src, dst in pairs if not pruner.admits(src, dst))
+
+    # End-to-end: sparse gravity demands, region aggregation when the pair
+    # count exceeds the budget, one SP placement over the routed matrix.
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(SEED)
+    tm = sparse_gravity_traffic_matrix(
+        network, rng, n_pairs=min(20 * n_nodes, n_nodes * (n_nodes - 1))
+    )
+    routed, regional = maybe_aggregate(network, tm, max_pairs=EVAL_MAX_PAIRS)
+    placement = ShortestPathRouting().place(network, routed)
+    eval_s = time.perf_counter() - t0
+
+    return {
+        "nodes": n_nodes,
+        "directed_links": network.num_links,
+        "index_build_s": build_s,
+        "index_build_nodes_per_s": n_nodes / build_s,
+        "sweep_sources": N_SWEEP_SOURCES,
+        "legacy_sweep_s": legacy_sweep_s,
+        "sparse_sweep_s": sparse_sweep_s,
+        "sweep_speedup": legacy_sweep_s / sparse_sweep_s,
+        "ksp_pairs": KSP_PAIRS,
+        "ksp_k": KSP_K,
+        "ksp_cold_s": ksp_cold_s,
+        "ksp_warm_s": ksp_warm_s,
+        "ksp_pruned_pairs": pruned_pairs,
+        "eval_demand_pairs": len(tm),
+        "eval_routed_pairs": len(routed),
+        "eval_regions": regional.n_regions if regional is not None else None,
+        "eval_max_utilization": placement.max_utilization(),
+        "eval_s": eval_s,
+    }
+
+
+def test_scale_curve(benchmark):
+    records = benchmark.pedantic(
+        lambda: [_measure(n) for n in SIZES],
+        rounds=1,
+        iterations=1,
+    )
+
+    for record in records:
+        # The guard of this benchmark: the indexed core must sustain at
+        # least legacy throughput at every size, or the rewrite has
+        # regressed into a slower path somewhere.
+        assert record["sparse_sweep_s"] <= record["legacy_sweep_s"], (
+            f"{record['nodes']} nodes: indexed sweep "
+            f"({record['sparse_sweep_s']:.4f}s) slower than legacy "
+            f"({record['legacy_sweep_s']:.4f}s)"
+        )
+    # The 10k-node end-to-end evaluation must complete — and do so on a
+    # bounded column budget, which is what region aggregation is for.
+    largest = records[-1]
+    assert largest["nodes"] == SIZES[-1]
+    assert largest["eval_routed_pairs"] <= EVAL_MAX_PAIRS
+    assert largest["eval_regions"] is not None
+
+    record_bench_json(
+        "scale",
+        {
+            "seed": SEED,
+            "sizes": SIZES,
+            "eval_max_pairs": EVAL_MAX_PAIRS,
+            "records": records,
+        },
+    )

@@ -42,6 +42,15 @@ the constructs that silently break it:
   cached builder); a deliberate per-iteration rebuild carries
   ``# analysis: allow[D107]``.  WARNING severity — a perf contract,
   not a correctness one.
+* **D108** — dense all-pairs materialization:
+  ``all_pairs_shortest_paths(...)`` / ``node_pairs(...)`` calls build a
+  quadratic structure — 10^8 entries on the ingest-scale (10k+ node)
+  graphs of :mod:`repro.net.ingest`.  Prefer per-source
+  ``shortest_path_delays`` sweeps, locality-pruned KSP
+  (:class:`repro.net.index.LocalityPruner`) or region aggregation
+  (:mod:`repro.tm.regions`); a deliberately zoo-scale call site carries
+  ``# analysis: allow[D108]``.  WARNING severity — a scalability
+  contract, like D107.
 """
 
 from __future__ import annotations
@@ -82,6 +91,11 @@ _ORDERING_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
 
 #: Scenario-fleet sampling entry points that must be explicitly seeded.
 SCENARIO_SAMPLERS = frozenset({"ScenarioGenerator", "generate_scenarios"})
+
+#: Calls that materialize the quadratic node-pair space (rule D108).
+DENSE_PAIR_MATERIALIZERS = frozenset(
+    {"all_pairs_shortest_paths", "node_pairs"}
+)
 
 
 def _import_aliases(tree: ast.Module, target: str) -> Set[str]:
@@ -139,6 +153,8 @@ class DeterminismPass(Pass):
         "D105": "assert statement in library code (stripped under -O)",
         "D106": "scenario sampling without an explicit seed",
         "D107": "LinearProgram rebuilt and solved every loop iteration",
+        "D108": "dense all-pairs materialization on a potentially "
+                "ingest-scale graph",
     }
 
     def check_module(self, module: ModuleSource) -> Iterator[Finding]:
@@ -262,6 +278,20 @@ class DeterminismPass(Pass):
                 )
                 if finding:
                     yield finding
+
+        # D108: dense pair materialization — quadratic output that zoo
+        # networks tolerate and ingest-scale graphs cannot.
+        if parts[-1] in DENSE_PAIR_MATERIALIZERS:
+            finding = module.finding(
+                "D108", Severity.WARNING, node,
+                f"`{name}(...)` materializes every node pair (10^8 at "
+                f"ingest scale); prefer per-source shortest_path_delays "
+                f"sweeps, locality-pruned KSP or region aggregation, or "
+                f"mark a deliberate zoo-scale site with "
+                f"`# analysis: allow[D108]`",
+            )
+            if finding:
+                yield finding
 
         # D103 via wrappers: list(set(...)), enumerate(set(...)), ...
         if name in _ORDERING_WRAPPERS and node.args:

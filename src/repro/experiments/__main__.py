@@ -14,6 +14,9 @@ Usage::
     python -m repro.experiments fig17 --trace-dir traces/      # record spans
     python -m repro.experiments trace summary --trace-dir traces/
     python -m repro.experiments trace critical-path --trace-dir traces/
+    python -m repro.experiments ingest topo.json --format json
+    python -m repro.experiments ingest synth --synth-nodes 10000 --seed 42 \\
+        --out as10k.json --emit distances
     python -m repro.experiments list
 
 Every figure is one entry in the :data:`FIGURES` registry — a render
@@ -733,6 +736,77 @@ def run_trace_command(args) -> int:
     return 0
 
 
+def run_ingest_command(args) -> int:
+    """Load or synthesize an ingest-scale topology and summarize it.
+
+    ``ingest <path>`` reads a topology file — either this library's
+    ``repro-network`` JSON or the external distances+bandwidth format —
+    and ``ingest synth`` synthesizes an Internet-like graph from a
+    power-law degree distribution (``--synth-nodes``, ``--seed``,
+    ``--degree-exponent``).  ``--out`` writes the result back out as
+    ``repro-network`` JSON (``--emit distances`` for the external format),
+    so synthesized or converted topologies feed any downstream run.
+    """
+    import json
+
+    from repro.net import ingest, io
+    from repro.net.paths import network_signature
+
+    if args.target is None:
+        print(
+            "ingest needs a topology file or 'synth', e.g. "
+            "'ingest topo.json' or 'ingest synth --synth-nodes 1000'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.target == "synth":
+        network = ingest.synthesize_internet_like(
+            args.synth_nodes,
+            seed=args.seed,
+            degree_exponent=args.degree_exponent,
+        )
+    else:
+        try:
+            network = io.load(args.target)
+        except (OSError, ValueError) as exc:
+            print(f"ingest: {exc}", file=sys.stderr)
+            return 1
+    if args.out is not None:
+        if args.emit == "distances":
+            with open(args.out, "w") as handle:
+                handle.write(ingest.to_distances_json(network))
+        else:
+            io.save(network, args.out)
+    histogram = ingest.degree_histogram(network)
+    degrees = [d for d, count in histogram.items() for _ in range(count)]
+    min_degree = min(degrees) if degrees else 0
+    max_degree = max(degrees) if degrees else 0
+    mean_degree = sum(degrees) / len(degrees) if degrees else 0.0
+    signature = network_signature(network)
+    if args.format == "json":
+        summary = {
+            "name": network.name,
+            "nodes": network.num_nodes,
+            "directed_links": network.num_links,
+            "min_degree": min_degree,
+            "max_degree": max_degree,
+            "mean_degree": mean_degree,
+            "total_capacity_bps": network.total_capacity_bps(),
+            "signature": signature,
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{network.name}: {network.num_nodes} nodes, "
+        f"{network.num_links} directed links, degree "
+        f"{min_degree}..{max_degree} (mean {mean_degree:.2f})"
+    )
+    print(f"signature {signature[:16]}…")
+    if args.out is not None:
+        print(f"wrote {args.out} ({args.emit})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -744,6 +818,7 @@ def main(argv=None) -> int:
         "the result store, 'dispatch'/'worker' for sharded subprocess "
         "runs, 'scenarios' for perturbation-fleet robustness reports, "
         "'store' for ls/gc, 'trace' to analyze recorded telemetry, "
+        "'ingest' to load/synthesize Internet-scale topologies, "
         "or 'list' to enumerate available ones",
     )
     parser.add_argument(
@@ -752,7 +827,8 @@ def main(argv=None) -> int:
         default=None,
         help="figure id (render), scheme name or figure id (dispatch), "
         "manifest path (worker), action (store: ls|gc; trace: "
-        "summary|tree|critical-path|ls)",
+        "summary|tree|critical-path|ls), topology file or 'synth' "
+        "(ingest)",
     )
     parser.add_argument("--networks", type=int, default=12)
     parser.add_argument("--tms", type=int, default=1)
@@ -894,7 +970,32 @@ def main(argv=None) -> int:
         "--format",
         choices=("text", "json"),
         default="text",
-        help="trace / scenarios command output format",
+        help="trace / scenarios / ingest command output format",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="ingest: write the loaded/synthesized topology to this path",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=("repro", "distances"),
+        default="repro",
+        help="ingest --out format: 'repro' (repro-network JSON) or "
+        "'distances' (external distances+bandwidth JSON)",
+    )
+    parser.add_argument(
+        "--synth-nodes",
+        type=int,
+        default=1000,
+        help="ingest synth: number of nodes to synthesize",
+    )
+    parser.add_argument(
+        "--degree-exponent",
+        type=float,
+        default=2.1,
+        help="ingest synth: power-law exponent of the degree distribution "
+        "(2.1 is the usual AS-graph figure)",
     )
     parser.add_argument(
         "--failures",
@@ -985,12 +1086,13 @@ def main(argv=None) -> int:
 
     if figure == "trace":
         return run_trace_command(args)
-    if figure in ("worker", "dispatch", "store", "scenarios"):
+    if figure in ("worker", "dispatch", "store", "scenarios", "ingest"):
         command = {
             "worker": run_worker_command,
             "dispatch": run_dispatch_command,
             "store": run_store_command,
             "scenarios": run_scenarios_command,
+            "ingest": run_ingest_command,
         }[figure]
         try:
             return command(args)

@@ -677,11 +677,13 @@ class ExperimentEngine:
 
     @staticmethod
     def _count_paths(item: NetworkWorkload) -> int:
-        """Total materialized KSP paths in a workload item's cache."""
-        return sum(
-            item.cache.count_cached(src, dst)
-            for src, dst in item.network.node_pairs()
-        )
+        """Total materialized KSP paths in a workload item's cache.
+
+        Asks the cache itself (sparse in the pairs actually requested)
+        instead of enumerating the quadratic node-pair space, which
+        ingest-scale graphs cannot afford.
+        """
+        return item.cache.total_cached()
 
 
 def _forked_evaluate(

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+import numpy.typing as npt
+
 EARTH_RADIUS_KM = 6371.0
 
 # Speed of light in fibre is roughly two thirds of c; 200,000 km/s is the
@@ -39,6 +42,34 @@ def great_circle_km(
         math.sin(dlon / 2.0) ** 2
     )
     return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def great_circle_km_many(
+    lat_deg: float,
+    lon_deg: float,
+    lats_deg: "npt.NDArray[np.float64]",
+    lons_deg: "npt.NDArray[np.float64]",
+) -> "npt.NDArray[np.float64]":
+    """Great-circle distances from one point to many, in kilometres.
+
+    Vectorized haversine for ingest-scale geographic clustering
+    (:mod:`repro.tm.regions`), where a Python-loop haversine per
+    node x center pair would dominate the aggregation cost.  Matches
+    :func:`great_circle_km` to float64 rounding.
+    """
+    lat1 = math.radians(lat_deg)
+    lon1 = math.radians(lon_deg)
+    lat2 = np.radians(lats_deg)
+    lon2 = np.radians(lons_deg)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + math.cos(lat1) * np.cos(lat2) * (
+        np.sin(dlon / 2.0) ** 2
+    )
+    result: "npt.NDArray[np.float64]" = 2.0 * EARTH_RADIUS_KM * np.arcsin(
+        np.minimum(1.0, np.sqrt(a))
+    )
+    return result
 
 
 def propagation_delay_s(

@@ -15,7 +15,7 @@ library (paths, flows, routing LPs) is built on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,12 @@ class Network:
         #: :func:`repro.net.paths.network_signature`; every topology
         #: mutation resets it.
         self._signature_memo: Optional[str] = None
+        #: Compiled sparse view cached by :func:`repro.net.index.graph_index`,
+        #: as a ``(signature_token, GraphIndex)`` pair.  The token is checked
+        #: by *identity* against ``_signature_memo``, so any mutation (which
+        #: nulls the memo) invalidates the index even if a later mutation
+        #: restores the same signature value.  Excluded from pickles.
+        self._graph_index: Optional[Tuple[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -181,7 +187,12 @@ class Network:
         return len(self._adjacency[name])
 
     def node_pairs(self) -> List[Tuple[str, str]]:
-        """All ordered pairs of distinct nodes (every potential aggregate)."""
+        """All ordered pairs of distinct nodes (every potential aggregate).
+
+        Quadratic: fine at zoo scale, 10^8 entries on an ingest-scale
+        graph.  Analysis rule D108 flags call sites so the dense form
+        stays a deliberate choice.
+        """
         names = self.node_names
         return [(u, v) for u in names for v in names if u != v]
 
@@ -238,6 +249,17 @@ class Network:
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without the compiled graph index.
+
+        The index is a pure cache, cheap to rebuild and potentially large
+        (CSR arrays for a 10k-node graph); shipping it to spawn-pool and
+        dispatch workers would bloat every task payload for nothing.
+        """
+        state = dict(self.__dict__)
+        state["_graph_index"] = None
+        return state
+
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
 

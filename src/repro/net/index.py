@@ -1,0 +1,511 @@
+"""Integer-indexed sparse graph core.
+
+The legacy path algorithms in :mod:`repro.net.paths` key everything by node
+name: string dicts, string heaps, string exclusion sets.  That is perfectly
+fast at zoo scale (hundreds of nodes) and hopeless at ingest scale (10k+
+nodes, the CAIDA-style graphs of :mod:`repro.net.ingest`).  This module
+compiles a :class:`~repro.net.graph.Network` into a :class:`GraphIndex` —
+contiguous integer node ids, CSR adjacency, flat delay/capacity arrays —
+and rebuilds Dijkstra, single-source delay sweeps and Yen's k-shortest
+paths on top of array heaps and bytearray exclusion masks.
+
+**Bit-identity contract.**  The indexed algorithms return *exactly* the
+paths the legacy ones do, byte for byte:
+
+* node ids are assigned in **sorted-name order**, so the integer heap
+  entries ``(dist, id)`` tie-break exactly like the legacy ``(dist, name)``
+  entries;
+* CSR neighbor runs preserve each node's adjacency **insertion order**, so
+  relaxation visits links in the legacy sequence;
+* distances accumulate in the same left-to-right float addition order, so
+  every comparison sees the same ulps.
+
+The legacy implementations survive as ``legacy_*`` parity oracles in
+:mod:`repro.net.paths`, and ``tests/test_net_index.py`` asserts equality
+across the whole zoo plus seeded synthetic graphs.
+
+Indexes are memoized on the network via the existing ``_signature_memo``
+invalidation hook: every :class:`Network` mutation resets the memo to
+``None``, and recomputation creates a *new* string object, so an identity
+check on the memoized token detects any mutation — including a
+mutate-and-undo cycle that restores the same signature value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.net.graph import Network
+
+Path = Tuple[str, ...]
+IdPath = Tuple[int, ...]
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+
+_INF = float("inf")
+
+#: Lazily bound telemetry module (same pattern as :mod:`repro.net.paths`:
+#: a top-level import would cycle through ``repro.experiments``).
+_telemetry: Any = None
+
+
+def _recorder() -> Any:
+    global _telemetry
+    if _telemetry is None:
+        from repro.experiments import telemetry
+
+        _telemetry = telemetry
+    return _telemetry.recorder()
+
+
+class NoPathError(Exception):
+    """Raised when no path exists between the requested endpoints.
+
+    Defined here (the lowest layer that raises it) and re-exported by
+    :mod:`repro.net.paths`, which is where most callers import it from.
+    """
+
+
+class GraphIndex:
+    """A compiled, immutable sparse view of one :class:`Network`.
+
+    Holds the name⇄id maps, CSR adjacency (``indptr``/``neighbors``) with
+    parallel per-edge delay and capacity arrays, and the integer-indexed
+    path algorithms.  Build cost is O(n + m log m); obtain instances via
+    :func:`graph_index`, which memoizes per network.
+    """
+
+    def __init__(self, network: Network) -> None:
+        names = sorted(network.node_names)
+        ids: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        indptr: List[int] = [0] * (n + 1)
+        neighbors: List[int] = []
+        delays: List[float] = []
+        capacities: List[float] = []
+        edge_pos: Dict[Tuple[int, int], int] = {}
+        for u, name in enumerate(names):
+            # Per-node adjacency insertion order is preserved so the
+            # indexed relaxation sequence matches the legacy one.
+            for link in network.out_links(name):
+                v = ids[link.dst]
+                edge_pos[(u, v)] = len(neighbors)
+                neighbors.append(v)
+                delays.append(link.delay_s)
+                capacities.append(link.capacity_bps)
+            indptr[u + 1] = len(neighbors)
+        self._names: List[str] = names
+        self._ids = ids
+        self._indptr = indptr
+        self._neighbors = neighbors
+        self._delays = delays
+        self._capacities = capacities
+        self._edge_pos = edge_pos
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._neighbors)
+
+    @property
+    def names(self) -> List[str]:
+        """Node names in id order (sorted)."""
+        return list(self._names)
+
+    def node_id(self, name: str) -> int:
+        return self._ids[name]
+
+    def node_name(self, node_id: int) -> str:
+        return self._names[node_id]
+
+    @property
+    def indptr_array(self) -> IntArray:
+        """CSR row pointers as a numpy array (analysis/benchmark use)."""
+        return np.asarray(self._indptr, dtype=np.int64)
+
+    @property
+    def neighbor_array(self) -> IntArray:
+        return np.asarray(self._neighbors, dtype=np.int64)
+
+    @property
+    def delay_array(self) -> FloatArray:
+        return np.asarray(self._delays, dtype=np.float64)
+
+    @property
+    def capacity_array(self) -> FloatArray:
+        return np.asarray(self._capacities, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Exclusion-set compilation
+    # ------------------------------------------------------------------
+    def edge_mask(
+        self, excluded_links: Optional[Set[Tuple[str, str]]]
+    ) -> Optional[bytearray]:
+        """A per-CSR-position bytearray mask for a name-keyed link set.
+
+        Links absent from the graph are ignored, matching the legacy
+        behavior of an exclusion set entry that never comes up.
+        """
+        if not excluded_links:
+            return None
+        mask = bytearray(len(self._neighbors))
+        ids = self._ids
+        edge_pos = self._edge_pos
+        for src, dst in excluded_links:
+            u = ids.get(src)
+            v = ids.get(dst)
+            if u is None or v is None:
+                continue
+            pos = edge_pos.get((u, v))
+            if pos is not None:
+                mask[pos] = 1
+        return mask
+
+    def node_mask(
+        self, excluded_nodes: Optional[Set[str]]
+    ) -> Optional[bytearray]:
+        """A per-node bytearray mask for a name-keyed node set."""
+        if not excluded_nodes:
+            return None
+        mask = bytearray(len(self._names))
+        ids = self._ids
+        for name in excluded_nodes:
+            node_id = ids.get(name)
+            if node_id is not None:
+                mask[node_id] = 1
+        return mask
+
+    # ------------------------------------------------------------------
+    # Core integer Dijkstra
+    # ------------------------------------------------------------------
+    def dijkstra_ids(
+        self,
+        src: int,
+        dst: int = -1,
+        excluded_edges: Optional[bytearray] = None,
+        excluded_nodes: Optional[bytearray] = None,
+    ) -> Tuple[List[float], List[int], List[int]]:
+        """Single-source Dijkstra over integer ids.
+
+        Returns ``(dist, parent, touched)``: distances (``inf`` where
+        unreached), parent ids (``-1`` where none), and node ids in the
+        order their distance was first assigned — the legacy dict
+        insertion order, which :meth:`shortest_path_delays` reproduces.
+        ``dst = -1`` sweeps the whole component; otherwise the search
+        stops once ``dst`` is settled.
+        """
+        n = len(self._names)
+        dist: List[float] = [_INF] * n
+        parent: List[int] = [-1] * n
+        touched: List[int] = []
+        if excluded_nodes is not None and excluded_nodes[src]:
+            return dist, parent, touched
+        indptr = self._indptr
+        neighbors = self._neighbors
+        delays = self._delays
+        done = bytearray(n)
+        dist[src] = 0.0
+        touched.append(src)
+        heap: List[Tuple[float, int]] = [(0.0, src)]
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, u = pop(heap)
+            if done[u]:
+                continue
+            done[u] = 1
+            if u == dst:
+                break
+            for pos in range(indptr[u], indptr[u + 1]):
+                v = neighbors[pos]
+                if done[v]:
+                    continue
+                if excluded_nodes is not None and excluded_nodes[v]:
+                    continue
+                if excluded_edges is not None and excluded_edges[pos]:
+                    continue
+                nd = d + delays[pos]
+                if nd < dist[v]:
+                    if dist[v] == _INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, v))
+        return dist, parent, touched
+
+    @staticmethod
+    def extract_ids(parent: List[int], src: int, dst: int) -> IdPath:
+        """Reconstruct the id path ``src -> dst`` from a parent array."""
+        path = [dst]
+        while path[-1] != src:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return tuple(path)
+
+    def to_names(self, id_path: IdPath) -> Path:
+        names = self._names
+        return tuple(names[i] for i in id_path)
+
+    # ------------------------------------------------------------------
+    # Name-level algorithms (legacy-compatible surface)
+    # ------------------------------------------------------------------
+    def shortest_path(
+        self,
+        src: str,
+        dst: str,
+        excluded_links: Optional[Set[Tuple[str, str]]] = None,
+        excluded_nodes: Optional[Set[str]] = None,
+    ) -> Path:
+        """Lowest-delay path; legacy-identical errors and tie-breaking."""
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        s = self._ids.get(src)
+        if s is None:
+            raise KeyError(f"unknown node {src!r}")
+        t = self._ids.get(dst, -1)
+        if t < 0:
+            raise NoPathError(f"no path {src} -> {dst}")
+        dist, parent, _ = self.dijkstra_ids(
+            s, t, self.edge_mask(excluded_links), self.node_mask(excluded_nodes)
+        )
+        if dist[t] == _INF:
+            raise NoPathError(f"no path {src} -> {dst}")
+        return self.to_names(self.extract_ids(parent, s, t))
+
+    def shortest_path_delays(self, src: str) -> Dict[str, float]:
+        """Delays to every reachable node, in legacy dict order."""
+        s = self._ids.get(src)
+        if s is None:
+            raise KeyError(f"unknown node {src!r}")
+        dist, _, touched = self.dijkstra_ids(s)
+        names = self._names
+        return {names[v]: dist[v] for v in touched if v != s}
+
+    def all_pairs_shortest_paths(
+        self, node_order: Optional[List[str]] = None
+    ) -> Dict[Tuple[str, str], Path]:
+        """Lowest-delay path for every connected ordered node pair.
+
+        ``node_order`` reproduces the legacy result-dict ordering (network
+        insertion order); defaults to id (sorted-name) order.  Quadratic
+        output — gate ingest-scale callers behind analysis rule D108.
+        """
+        order = node_order if node_order is not None else self._names
+        ids = self._ids
+        paths: Dict[Tuple[str, str], Path] = {}
+        for src in order:
+            s = ids[src]
+            _, parent, _ = self.dijkstra_ids(s)
+            for dst in order:
+                t = ids[dst]
+                if t != s and parent[t] >= 0:
+                    paths[(src, dst)] = self.to_names(
+                        self.extract_ids(parent, s, t)
+                    )
+        return paths
+
+    def k_shortest_paths(self, src: str, dst: str) -> Iterator[Path]:
+        """Yen's algorithm over integer ids; yields legacy-identical paths.
+
+        Spur-root delays accumulate incrementally per hop (the legacy
+        implementation's O(L²) recomputation, fixed), in the same float
+        addition order, so candidate ordering matches ulp for ulp.
+        """
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        s = self._ids.get(src)
+        if s is None:
+            raise KeyError(f"unknown node {src!r}")
+        t = self._ids.get(dst, -1)
+        if t < 0:
+            return
+        dist, parent, _ = self.dijkstra_ids(s, t)
+        if dist[t] == _INF:
+            return
+        first = self.extract_ids(parent, s, t)
+        yield self.to_names(first)
+
+        n = len(self._names)
+        m = len(self._neighbors)
+        delays = self._delays
+        edge_pos = self._edge_pos
+        produced: List[IdPath] = [first]
+        candidates: List[Tuple[float, IdPath]] = []
+        queued: Set[IdPath] = {first}
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        while True:
+            prev = produced[-1]
+            excluded_nodes = bytearray(n)
+            root_delay = 0.0
+            for i in range(len(prev) - 1):
+                spur = prev[i]
+                root = prev[: i + 1]
+                if i > 0:
+                    root_delay += delays[edge_pos[(prev[i - 1], prev[i])]]
+                    excluded_nodes[prev[i - 1]] = 1
+                excluded_edges = bytearray(m)
+                for existing in produced:
+                    if len(existing) > i and existing[: i + 1] == root:
+                        excluded_edges[
+                            edge_pos[(existing[i], existing[i + 1])]
+                        ] = 1
+                sdist, sparent, _ = self.dijkstra_ids(
+                    spur, t, excluded_edges, excluded_nodes
+                )
+                if sdist[t] == _INF:
+                    continue
+                spur_path = self.extract_ids(sparent, spur, t)
+                candidate = root[:-1] + spur_path
+                if candidate in queued:
+                    continue
+                queued.add(candidate)
+                push(candidates, (root_delay + sdist[t], candidate))
+            if not candidates:
+                return
+            _, best = pop(candidates)
+            produced.append(best)
+            yield self.to_names(best)
+
+
+def graph_index(network: Network) -> GraphIndex:
+    """The network's compiled :class:`GraphIndex`, memoized per topology.
+
+    The cache token is the network's memoized signature *object*: every
+    mutation resets ``_signature_memo`` to ``None`` and any later
+    recomputation creates a new string, so an ``is`` check detects staleness
+    without hashing the topology again — including mutations that restore
+    the previous signature value.
+    """
+    from repro.net.paths import network_signature
+
+    cached: Optional[Tuple[str, GraphIndex]] = getattr(
+        network, "_graph_index", None
+    )
+    token = network._signature_memo
+    if cached is not None and token is not None and cached[0] is token:
+        return cached[1]
+    token = network_signature(network)
+    recorder = _recorder()
+    if recorder.enabled:
+        recorder.counter("index.build")
+    with recorder.span("index_build"):
+        index = GraphIndex(network)
+    network._graph_index = (token, index)
+    return index
+
+
+class LocalityPruner:
+    """Landmark-based locality prefilter for k-shortest-path enumeration.
+
+    On ingest-scale graphs, enumerating path alternatives for *every* pair
+    is what blows up — not the single shortest path.  The pruner picks a
+    deterministic landmark set (farthest-point sampling seeded at the
+    highest-degree node), precomputes one delay sweep per landmark, and
+    lower-bounds any pair's delay via the triangle inequality::
+
+        d(s, t) >= max_L |d(L, s) - d(L, t)|
+
+    Pairs whose lower bound exceeds ``radius_s`` are declared non-local:
+    :class:`~repro.net.paths.KspCache` then serves only their single
+    shortest path and bumps the ``ksp.pruned`` metric instead of running
+    Yen's.  The bound is exact for duplex (symmetric) topologies — every
+    network this stack builds — and pruning never alters which paths are
+    returned for admitted pairs, so results at zoo scale (pruner off) are
+    untouched; pruned runs are explicitly approximate and labelled so by
+    their callers (see ``tm.regions`` for the demand-side analogue).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        radius_s: float,
+        n_landmarks: int = 8,
+    ) -> None:
+        if radius_s < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_s}")
+        if n_landmarks < 1:
+            raise ValueError(f"need >= 1 landmark, got {n_landmarks}")
+        index = graph_index(network)
+        self._index = index
+        self.radius_s = radius_s
+        n = index.num_nodes
+        landmarks: List[int] = []
+        sweeps: List[List[float]] = []
+        if n > 0:
+            indptr = index._indptr
+            first = 0
+            best_degree = -1
+            for node_id in range(n):
+                degree = indptr[node_id + 1] - indptr[node_id]
+                if degree > best_degree:
+                    best_degree = degree
+                    first = node_id
+            landmarks.append(first)
+            dist, _, _ = index.dijkstra_ids(first)
+            sweeps.append(dist)
+            while len(landmarks) < min(n_landmarks, n):
+                # Farthest-point: maximize the min distance to any chosen
+                # landmark; unreachable nodes sort first so disconnected
+                # components each get a landmark.  Ties -> lowest id.
+                best_id = -1
+                best_score = -1.0
+                chosen = bytearray(n)
+                for node_id in landmarks:
+                    chosen[node_id] = 1
+                for node_id in range(n):
+                    if chosen[node_id]:
+                        continue
+                    score = min(dist[node_id] for dist in sweeps)
+                    if score > best_score:
+                        best_score = score
+                        best_id = node_id
+                if best_id < 0:
+                    break
+                landmarks.append(best_id)
+                dist, _, _ = index.dijkstra_ids(best_id)
+                sweeps.append(dist)
+        self._landmarks = landmarks
+        self._sweeps = sweeps
+
+    @property
+    def landmarks(self) -> List[str]:
+        """Landmark node names, in selection order."""
+        return [self._index.node_name(i) for i in self._landmarks]
+
+    def lower_bound_s(self, src: str, dst: str) -> float:
+        """A delay lower bound for the pair; 0.0 when nothing is known."""
+        ids = self._index._ids
+        s = ids.get(src)
+        t = ids.get(dst)
+        if s is None or t is None or s == t:
+            return 0.0
+        bound = 0.0
+        for dist in self._sweeps:
+            ds = dist[s]
+            dt = dist[t]
+            if ds == _INF or dt == _INF:
+                continue
+            gap = ds - dt if ds >= dt else dt - ds
+            if gap > bound:
+                bound = gap
+        return bound
+
+    def admits(self, src: str, dst: str) -> bool:
+        """False when the pair is provably farther apart than the radius.
+
+        Unknown names are admitted — error handling belongs to the path
+        algorithms, not the prefilter.
+        """
+        return self.lower_bound_s(src, dst) <= self.radius_s

@@ -82,9 +82,31 @@ def save(network: Network, path: str) -> None:
 
 
 def load(path: str) -> Network:
-    """Read a network from a JSON file."""
+    """Read a network from a JSON file.
+
+    Understands both this library's ``repro-network`` documents and the
+    external distances+bandwidth format (a top-level ``distances``
+    mapping), which is routed to :mod:`repro.net.ingest` — so topology
+    files from either world load through one entry point.
+    """
+    import os
+
     with open(path) as handle:
-        return from_json(handle.read())
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a JSON network document: {exc}")
+    if (
+        isinstance(payload, dict)
+        and payload.get("format") != "repro-network"
+        and "distances" in payload
+    ):
+        from repro.net.ingest import network_from_distances
+
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return network_from_distances(payload, name=stem)
+    return from_json(text)
 
 
 def from_graphml(

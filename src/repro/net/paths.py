@@ -7,6 +7,12 @@ Yen's algorithm [Yen 1970], exposed both as a lazy generator and through
 is not the linear optimizer, but the k shortest paths algorithm, the results
 of which can be readily cached" — the cache class is that optimization, and
 the cold/warm cache distinction is what its Figure 15 measures.
+
+Since the Internet-scale ingest work, the public functions here delegate to
+the integer-indexed sparse core in :mod:`repro.net.index` (CSR adjacency,
+array heaps, bytearray exclusion masks) and are bit-identical to the
+original string-keyed implementations, which survive below as ``legacy_*``
+parity oracles exercised by ``tests/test_net_index.py``.
 """
 
 from __future__ import annotations
@@ -16,9 +22,48 @@ import heapq
 import json
 import os
 import tempfile
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.net.graph import Network
+from repro.net.index import (
+    GraphIndex,
+    LocalityPruner,
+    NoPathError,
+    graph_index,
+)
+
+__all__ = [
+    "GraphIndex",
+    "KspCache",
+    "KspCacheMismatchError",
+    "LocalityPruner",
+    "NoPathError",
+    "all_pairs_shortest_paths",
+    "graph_index",
+    "is_simple",
+    "k_shortest_paths",
+    "ksp_cache_path",
+    "legacy_all_pairs_shortest_paths",
+    "legacy_k_shortest_paths",
+    "legacy_shortest_path",
+    "legacy_shortest_path_delays",
+    "network_signature",
+    "path_bottleneck_bps",
+    "path_delay_s",
+    "path_links",
+    "shortest_path",
+    "shortest_path_delays",
+    "sweep_ksp_cache_dir",
+]
 
 Path = Tuple[str, ...]
 
@@ -27,20 +72,16 @@ Path = Tuple[str, ...]
 #: imports this module) mid-import; binding on first use keeps this
 #: low-level module cycle-free while the disabled-recorder fast path
 #: stays two attribute lookups and a call.
-_telemetry = None
+_telemetry: Any = None
 
 
-def _recorder():
+def _recorder() -> Any:
     global _telemetry
     if _telemetry is None:
         from repro.experiments import telemetry
 
         _telemetry = telemetry
     return _telemetry.recorder()
-
-
-class NoPathError(Exception):
-    """Raised when no path exists between the requested endpoints."""
 
 
 class KspCacheMismatchError(ValueError):
@@ -77,7 +118,8 @@ def network_signature(network: Network) -> str:
 
     Memoized on the network (every :class:`Network` mutation resets the
     memo), so per-solve signature lookups in the LP structure cache are
-    O(1) after the first computation.
+    O(1) after the first computation.  The memoized *object* also serves
+    as the staleness token for :func:`repro.net.index.graph_index`.
     """
     memo = network._signature_memo
     if memo is not None:
@@ -122,7 +164,7 @@ def is_simple(path: Sequence[str]) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Dijkstra
+# Dijkstra (indexed fast path; legacy oracles further down)
 # ----------------------------------------------------------------------
 def shortest_path(
     network: Network,
@@ -138,6 +180,49 @@ def shortest_path(
 
     Raises :class:`NoPathError` when the destination is unreachable.
     """
+    return graph_index(network).shortest_path(
+        src, dst, excluded_links, excluded_nodes
+    )
+
+
+def shortest_path_delays(network: Network, src: str) -> Dict[str, float]:
+    """Delays of the lowest-delay paths from ``src`` to every reachable node."""
+    return graph_index(network).shortest_path_delays(src)
+
+
+def all_pairs_shortest_paths(network: Network) -> Dict[Tuple[str, str], Path]:
+    """Lowest-delay path for every connected ordered node pair.
+
+    Quadratic output: at ingest scale (10k+ nodes) this materializes 10^8
+    paths.  Analysis rule D108 flags new call sites; prefer per-source
+    :func:`shortest_path_delays` sweeps or locality-pruned KSP.
+    """
+    return graph_index(network).all_pairs_shortest_paths(  # analysis: allow[D108]
+        node_order=network.node_names
+    )
+
+
+def k_shortest_paths(network: Network, src: str, dst: str) -> Iterator[Path]:
+    """Lazily yield simple paths from ``src`` to ``dst`` in non-decreasing
+    delay order (Yen's algorithm, on the integer-indexed core).
+
+    The generator yields nothing if the endpoints are disconnected, and
+    stops once every simple path has been produced.
+    """
+    return graph_index(network).k_shortest_paths(src, dst)
+
+
+# ----------------------------------------------------------------------
+# Legacy string-keyed implementations — parity oracles
+# ----------------------------------------------------------------------
+def legacy_shortest_path(
+    network: Network,
+    src: str,
+    dst: str,
+    excluded_links: Optional[Set[Tuple[str, str]]] = None,
+    excluded_nodes: Optional[Set[str]] = None,
+) -> Path:
+    """Original dict-based Dijkstra; kept as the parity oracle for tests."""
     if src == dst:
         raise ValueError("source and destination must differ")
     dist, parent = _dijkstra(network, src, dst, excluded_links, excluded_nodes)
@@ -146,15 +231,17 @@ def shortest_path(
     return _extract(parent, src, dst)
 
 
-def shortest_path_delays(network: Network, src: str) -> Dict[str, float]:
-    """Delays of the lowest-delay paths from ``src`` to every reachable node."""
+def legacy_shortest_path_delays(network: Network, src: str) -> Dict[str, float]:
+    """Original single-source delay sweep; parity oracle for tests."""
     dist, _ = _dijkstra(network, src, None, None, None)
     dist.pop(src, None)
     return dist
 
 
-def all_pairs_shortest_paths(network: Network) -> Dict[Tuple[str, str], Path]:
-    """Lowest-delay path for every connected ordered node pair."""
+def legacy_all_pairs_shortest_paths(
+    network: Network,
+) -> Dict[Tuple[str, str], Path]:
+    """Original all-pairs materialization; parity oracle for tests."""
     paths: Dict[Tuple[str, str], Path] = {}
     for src in network.node_names:
         _, parent = _dijkstra(network, src, None, None, None)
@@ -211,17 +298,21 @@ def _extract(parent: Dict[str, str], src: str, dst: str) -> Path:
 
 
 # ----------------------------------------------------------------------
-# Yen's k shortest loopless paths
+# Yen's k shortest loopless paths — legacy parity oracle
 # ----------------------------------------------------------------------
-def k_shortest_paths(network: Network, src: str, dst: str) -> Iterator[Path]:
-    """Lazily yield simple paths from ``src`` to ``dst`` in non-decreasing
-    delay order (Yen's algorithm).
+def legacy_k_shortest_paths(
+    network: Network, src: str, dst: str
+) -> Iterator[Path]:
+    """Original string-keyed Yen's algorithm; parity oracle for tests.
 
-    The generator yields nothing if the endpoints are disconnected, and
-    stops once every simple path has been produced.
+    The spur-root delay accumulates incrementally per hop (one link delay
+    added per spur index) instead of re-summing the whole root prefix —
+    the same left-to-right float addition order as the old
+    ``path_delay_s(network, root)``, so candidate ordering is unchanged
+    while the per-path cost drops from O(L²) to O(L).
     """
     try:
-        first = shortest_path(network, src, dst)
+        first = legacy_shortest_path(network, src, dst)
     except NoPathError:
         return
     yield first
@@ -234,10 +325,12 @@ def k_shortest_paths(network: Network, src: str, dst: str) -> Iterator[Path]:
 
     while True:
         prev = produced[-1]
+        root_delay = 0.0
         for i in range(len(prev) - 1):
             spur_node = prev[i]
             root = prev[: i + 1]
-            root_delay = path_delay_s(network, root) if i > 0 else 0.0
+            if i > 0:
+                root_delay += network.link(prev[i - 1], prev[i]).delay_s
 
             excluded_links: Set[Tuple[str, str]] = set()
             for existing in produced:
@@ -246,7 +339,7 @@ def k_shortest_paths(network: Network, src: str, dst: str) -> Iterator[Path]:
             excluded_nodes = set(root[:-1])
 
             try:
-                spur = shortest_path(
+                spur = legacy_shortest_path(
                     network,
                     spur_node,
                     dst,
@@ -278,17 +371,29 @@ class KspCache:
     ``k' < k`` only computes the missing ``k - k'``.  Mutating the network
     after creating a cache invalidates it; create a new cache instead.
 
+    An optional :class:`~repro.net.index.LocalityPruner` turns the cache
+    into a locality-pruned one: pairs the pruner rejects (provably farther
+    apart than its radius) are served their single shortest path only,
+    never running Yen's for alternatives, and each such request bumps the
+    ``ksp.pruned`` metric.  Pruning is an explicit approximation for
+    ingest-scale graphs; without a pruner behavior is exact and unchanged.
+
     Materialized paths can be persisted with :meth:`dump` / :meth:`dump_file`
     and restored with :meth:`load` / :meth:`load_file`; persisted state is
     keyed by :func:`network_signature`, so a cache saved for one topology is
     rejected on any other.
     """
 
-    #: Version tag of the :meth:`dump` payload layout.
-    DUMP_FORMAT = 1
+    #: Version tag of the :meth:`dump` payload layout.  Format 2 stores
+    #: paths as integer indexes into a dumped name table; :meth:`load`
+    #: still accepts format-1 (full node-name list) payloads.
+    DUMP_FORMAT = 2
 
-    def __init__(self, network: Network) -> None:
+    def __init__(
+        self, network: Network, pruner: Optional[LocalityPruner] = None
+    ) -> None:
         self._network = network
+        self._pruner = pruner
         self._generators: Dict[Tuple[str, str], Iterator[Path]] = {}
         self._paths: Dict[Tuple[str, str], List[Path]] = {}
         self._exhausted: Set[Tuple[str, str]] = set()
@@ -297,19 +402,37 @@ class KspCache:
     def network(self) -> Network:
         return self._network
 
+    @property
+    def pruner(self) -> Optional[LocalityPruner]:
+        return self._pruner
+
     def get(self, src: str, dst: str, k: int) -> List[Path]:
-        """The first ``k`` shortest paths (fewer if fewer exist)."""
+        """The first ``k`` shortest paths (fewer if fewer exist).
+
+        With a pruner attached, non-local pairs are clamped to their single
+        shortest path (``ksp.pruned`` counts every such request).
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        limit = k
+        if (
+            self._pruner is not None
+            and k > 1
+            and not self._pruner.admits(src, dst)
+        ):
+            limit = 1
+            recorder = _recorder()
+            if recorder.enabled:
+                recorder.counter("ksp.pruned")
         key = (src, dst)
         if key not in self._paths:
             self._paths[key] = []
         paths = self._paths[key]
-        if len(paths) >= k or key in self._exhausted:
+        if len(paths) >= limit or key in self._exhausted:
             recorder = _recorder()
             if recorder.enabled:
                 recorder.counter("ksp.cache_hit")
-            return paths[:k]
+            return paths[:limit]
         recorder = _recorder()
         if recorder.enabled:
             recorder.counter("ksp.cache_miss")
@@ -317,12 +440,12 @@ class KspCache:
         # cache hits — "ksp" trace seconds are the paper's "readily
         # cached" bottleneck, not dictionary lookups.
         with recorder.span("ksp"):
-            while len(paths) < k and key not in self._exhausted:
+            while len(paths) < limit and key not in self._exhausted:
                 try:
                     paths.append(next(self._generator(key)))
                 except StopIteration:
                     self._exhausted.add(key)
-        return paths[:k]
+        return paths[:limit]
 
     def _generator(self, key: Tuple[str, str]) -> Iterator[Path]:
         """The pair's Yen generator, fast-forwarded past loaded paths.
@@ -343,6 +466,14 @@ class KspCache:
         """How many paths are already materialized for a pair."""
         return len(self._paths.get((src, dst), []))
 
+    def total_cached(self) -> int:
+        """Total materialized paths across all pairs.
+
+        Iterates the cache's own (sparse) pair map — never the quadratic
+        node-pair space — so it stays cheap on ingest-scale networks.
+        """
+        return sum(len(paths) for paths in self._paths.values())
+
     def shortest(self, src: str, dst: str) -> Path:
         """The single shortest path; raises :class:`NoPathError` if none."""
         paths = self.get(src, dst, 1)
@@ -353,11 +484,14 @@ class KspCache:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def dump(self, max_paths_per_pair: Optional[int] = None) -> dict:
+    def dump(self, max_paths_per_pair: Optional[int] = None) -> Dict[str, Any]:
         """JSON-serializable snapshot of the materialized paths.
 
         Only produced paths (and which pairs are exhausted) are captured;
         generator state is rebuilt lazily on demand after :meth:`load`.
+        Paths are stored as integer indexes into the payload's ``nodes``
+        name table (format 2), which shrinks persisted caches roughly by
+        the average name length.
 
         ``max_paths_per_pair`` bounds the snapshot: each pair keeps at most
         that many (shortest-first) paths, so long-lived cache files stop
@@ -369,6 +503,14 @@ class KspCache:
             raise ValueError(
                 f"max_paths_per_pair must be >= 1, got {max_paths_per_pair}"
             )
+        name_set: Set[str] = set()
+        for (src, dst), paths in self._paths.items():
+            name_set.add(src)
+            name_set.add(dst)
+            for path in paths:
+                name_set.update(path)
+        names = sorted(name_set)
+        index_of = {name: i for i, name in enumerate(names)}
         pairs = []
         for (src, dst), paths in sorted(self._paths.items()):
             kept = paths
@@ -376,9 +518,9 @@ class KspCache:
                 kept = paths[:max_paths_per_pair]
             pairs.append(
                 {
-                    "src": src,
-                    "dst": dst,
-                    "paths": [list(path) for path in kept],
+                    "src": index_of[src],
+                    "dst": index_of[dst],
+                    "paths": [[index_of[node] for node in path] for path in kept],
                     "exhausted": (
                         (src, dst) in self._exhausted and len(kept) == len(paths)
                     ),
@@ -387,19 +529,23 @@ class KspCache:
         return {
             "format": self.DUMP_FORMAT,
             "signature": network_signature(self._network),
+            "nodes": names,
             "pairs": pairs,
         }
 
     @classmethod
-    def load(cls, payload: dict, network: Network) -> "KspCache":
+    def load(cls, payload: Dict[str, Any], network: Network) -> "KspCache":
         """Rebuild a cache from :meth:`dump` output.
 
-        Raises :class:`KspCacheMismatchError` if the payload was dumped for
-        a different (or since-mutated) network, or uses an unknown format.
+        Accepts the current integer-indexed payload (format 2) and the
+        older full-name layout (format 1).  Raises
+        :class:`KspCacheMismatchError` if the payload was dumped for a
+        different (or since-mutated) network, or uses an unknown format.
         """
-        if payload.get("format") != cls.DUMP_FORMAT:
+        fmt = payload.get("format")
+        if fmt not in (1, cls.DUMP_FORMAT):
             raise KspCacheMismatchError(
-                f"unsupported KSP cache format {payload.get('format')!r}"
+                f"unsupported KSP cache format {fmt!r}"
             )
         signature = network_signature(network)
         if payload.get("signature") != signature:
@@ -409,12 +555,25 @@ class KspCache:
             )
         cache = cls(network)
         try:
-            for entry in payload["pairs"]:
-                key = (entry["src"], entry["dst"])
-                cache._paths[key] = [tuple(path) for path in entry["paths"]]
-                if entry["exhausted"]:
-                    cache._exhausted.add(key)
-        except (KeyError, TypeError) as exc:
+            if fmt == 1:
+                for entry in payload["pairs"]:
+                    key = (entry["src"], entry["dst"])
+                    cache._paths[key] = [
+                        tuple(path) for path in entry["paths"]
+                    ]
+                    if entry["exhausted"]:
+                        cache._exhausted.add(key)
+            else:
+                table: List[str] = list(payload["nodes"])
+                for entry in payload["pairs"]:
+                    key = (table[entry["src"]], table[entry["dst"]])
+                    cache._paths[key] = [
+                        tuple(table[i] for i in path)
+                        for path in entry["paths"]
+                    ]
+                    if entry["exhausted"]:
+                        cache._exhausted.add(key)
+        except (KeyError, TypeError, IndexError) as exc:
             # Malformed structure (hand-edited file, external writer, schema
             # drift without a format bump) must hit the same rejected-cache
             # path as a wrong signature, not crash the caller.

@@ -464,6 +464,22 @@ def _placement_utilization(
     }
 
 
+def path_lp_columns(
+    network: Network, path_sets: Mapping[Aggregate, Sequence[Path]]
+) -> int:
+    """Column count of the Figure 12 LP over the given path sets.
+
+    One variable per (aggregate, path), plus Omax, plus one overload
+    variable per directed link.  This is the quantity that explodes on
+    ingest-scale graphs with dense matrices — 10^8 columns at 10k nodes —
+    and the number that :func:`repro.tm.regions.maybe_aggregate` bounds
+    by collapsing demands onto per-region gateways before the LP ever
+    sees them.  Cheap (no assembly); callers can budget before building.
+    """
+    n_paths = sum(len(paths) for paths in path_sets.values())
+    return n_paths + 1 + network.num_links
+
+
 def solve_latency_lp(
     network: Network,
     path_sets: Mapping[Aggregate, Sequence[Path]],

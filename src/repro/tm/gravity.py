@@ -60,3 +60,67 @@ def gravity_traffic_matrix(
             weight_total += weight
     factor = total_bps / weight_total
     return TrafficMatrix({pair: w * factor for pair, w in demands.items()})
+
+
+def sparse_gravity_traffic_matrix(
+    network: Network,
+    rng: np.random.Generator,
+    n_pairs: int,
+    exponent: float = 1.0,
+    total_bps: float = 1e9,
+) -> TrafficMatrix:
+    """A gravity matrix over a mass-weighted *sample* of node pairs.
+
+    :func:`gravity_traffic_matrix` materializes every ordered pair —
+    10^8 demands on an ingest-scale graph.  Real backbone matrices are
+    sparse (most PoP pairs exchange negligible traffic), so this samples
+    ``n_pairs`` distinct pairs with endpoint probability proportional to
+    the same Zipf masses: heavy PoPs appear in many pairs, light ones in
+    few, preserving the few-elephants/many-mice shape at any scale.
+    Deterministic for a given generator state.
+    """
+    names = network.node_names
+    n = len(names)
+    if n < 2:
+        raise ValueError("gravity model needs at least two PoPs")
+    if n_pairs < 1:
+        raise ValueError(f"need at least one pair, got {n_pairs}")
+    n_pairs = min(n_pairs, n * (n - 1))
+    masses = zipf_masses(n, rng, exponent)
+    probabilities = masses / masses.sum()
+    demands: Dict[Tuple[str, str], float] = {}
+    # Rejection-sample distinct pairs; with heavy skew the tail of distinct
+    # pairs thins out, so after a stagnant round fall back to deterministic
+    # enumeration in descending-mass order.
+    stagnant = 0
+    while len(demands) < n_pairs and stagnant < 2:
+        batch = max(64, 2 * (n_pairs - len(demands)))
+        srcs = rng.choice(n, size=batch, p=probabilities)
+        dsts = rng.choice(n, size=batch, p=probabilities)
+        before = len(demands)
+        for i, j in zip(srcs.tolist(), dsts.tolist()):
+            if i == j:
+                continue
+            pair = (names[i], names[j])
+            if pair in demands:
+                continue
+            demands[pair] = masses[i] * masses[j]
+            if len(demands) >= n_pairs:
+                break
+        stagnant = stagnant + 1 if len(demands) == before else 0
+    if len(demands) < n_pairs:
+        order = sorted(range(n), key=lambda i: (-masses[i], i))
+        for i in order:
+            for j in order:
+                if i == j:
+                    continue
+                pair = (names[i], names[j])
+                if pair not in demands:
+                    demands[pair] = masses[i] * masses[j]
+                    if len(demands) >= n_pairs:
+                        break
+            if len(demands) >= n_pairs:
+                break
+    weight_total = sum(demands.values())
+    factor = total_bps / weight_total
+    return TrafficMatrix({pair: w * factor for pair, w in demands.items()})

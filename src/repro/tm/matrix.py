@@ -150,6 +150,28 @@ class TrafficMatrix:
         merged.update({pair: float(d) for pair, d in demands_bps.items()})
         return TrafficMatrix(merged)
 
+    def aggregated(self, node_map: Mapping[str, str]) -> "TrafficMatrix":
+        """Collapse endpoints through ``node_map``, summing demands.
+
+        Every endpoint is replaced by ``node_map[endpoint]`` (names absent
+        from the map keep themselves); demands and flow counts of pairs
+        that collapse onto the same mapped pair are summed.  Pairs whose
+        two endpoints collapse together (intra-group traffic) are
+        *dropped* — compare :attr:`total_demand_bps` before and after to
+        account for the removed volume, as :mod:`repro.tm.regions` does.
+        Mapped pairs appear in first-touch order of the original
+        (insertion-ordered) pairs, so the result is deterministic.
+        """
+        demands: Dict[Pair, float] = {}
+        flows: Dict[Pair, int] = {}
+        for (src, dst), demand in self._demands.items():
+            mapped = (node_map.get(src, src), node_map.get(dst, dst))
+            if mapped[0] == mapped[1]:
+                continue
+            demands[mapped] = demands.get(mapped, 0.0) + demand
+            flows[mapped] = flows.get(mapped, 0) + self.flows(src, dst)
+        return TrafficMatrix(demands, flow_counts=flows)
+
     def __len__(self) -> int:
         return len(self._demands)
 

@@ -336,6 +336,39 @@ def test_d107_quiet_on_reuse_hoist_or_pragma(tmp_path):
     assert rules == []
 
 
+def test_d108_dense_pair_materialization(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        from repro.net.paths import all_pairs_shortest_paths
+
+        def sweep(network):
+            paths = all_pairs_shortest_paths(network)
+            grid = network.node_pairs()
+            return paths, grid
+        """,
+        [DeterminismPass()],
+    )
+    assert rules == ["D108", "D108"]
+
+
+def test_d108_quiet_on_sparse_spellings_or_pragma(tmp_path):
+    rules = rules_in(
+        tmp_path,
+        """
+        from repro.net.paths import shortest_path_delays
+
+        def sweep(network, cache, sources):
+            delays = [shortest_path_delays(network, src) for src in sources]
+            total = cache.total_cached()
+            waived = all_pairs_shortest_paths(network)  # analysis: allow[D108]
+            return delays, total, waived
+        """,
+        [DeterminismPass()],
+    )
+    assert rules == []
+
+
 # ----------------------------------------------------------------------
 # Spawn-safety pass
 # ----------------------------------------------------------------------
@@ -582,6 +615,7 @@ def test_rule_table_covers_every_pass():
     table = rule_table()
     for rule in (
         "E001", "D101", "D102", "D103", "D104", "D105", "D106",
+        "D107", "D108",
         "S201", "S202", "S203", "C301", "C302", "C303",
     ):
         assert rule in table

@@ -1,11 +1,13 @@
 """Unit tests for geographic helpers."""
 
+import numpy as np
 import pytest
 
 from repro.net.geo import (
     EARTH_RADIUS_KM,
     FIBRE_SPEED_KM_PER_S,
     great_circle_km,
+    great_circle_km_many,
     link_delay_s,
     propagation_delay_s,
 )
@@ -37,6 +39,18 @@ class TestGreatCircle:
 
         distance = great_circle_km(0.0, 0.0, 0.0, 180.0)
         assert distance == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_vectorized_matches_scalar(self):
+        # The region-clustering fast path must agree with the scalar
+        # haversine to float64 rounding.
+        lats = np.array([51.5074, 40.7128, 90.0, 0.0, -33.86])
+        lons = np.array([-0.1278, -74.0060, 0.0, 180.0, 151.21])
+        many = great_circle_km_many(48.85, 2.35, lats, lons)
+        for i in range(len(lats)):
+            assert many[i] == pytest.approx(
+                great_circle_km(48.85, 2.35, float(lats[i]), float(lons[i])),
+                rel=1e-12,
+            )
 
 
 class TestPropagationDelay:

@@ -246,12 +246,22 @@ class TestDumpBounds:
         for entry in payload["pairs"]:
             assert len(entry["paths"]) <= 2
 
+    @staticmethod
+    def pair_entry(payload, src, dst):
+        """The format-2 payload entry for a pair, resolved via the name table."""
+        names = payload["nodes"]
+        (entry,) = [
+            e
+            for e in payload["pairs"]
+            if (names[e["src"]], names[e["dst"]]) == (src, dst)
+        ]
+        return entry
+
     def test_truncated_pair_not_marked_exhausted(self, square):
         cache = KspCache(square)
         assert len(cache.get("a", "c", 99)) == 2  # exhausts the pair
         payload = cache.dump(max_paths_per_pair=1)
-        (entry,) = [e for e in payload["pairs"] if (e["src"], e["dst"]) == ("a", "c")]
-        assert entry["exhausted"] is False
+        assert self.pair_entry(payload, "a", "c")["exhausted"] is False
         # A bounded dump resumes Yen correctly past the kept prefix.
         restored = KspCache.load(payload, square)
         assert restored.get("a", "c", 99) == cache.get("a", "c", 99)
@@ -260,8 +270,38 @@ class TestDumpBounds:
         cache = KspCache(square)
         cache.get("a", "c", 99)
         payload = cache.dump(max_paths_per_pair=5)
-        (entry,) = [e for e in payload["pairs"] if (e["src"], e["dst"]) == ("a", "c")]
-        assert entry["exhausted"] is True
+        assert self.pair_entry(payload, "a", "c")["exhausted"] is True
+
+    def test_dump_paths_are_integer_indexed(self, square):
+        cache = KspCache(square)
+        expected = cache.get("a", "c", 99)
+        payload = cache.dump()
+        assert payload["format"] == 2
+        entry = self.pair_entry(payload, "a", "c")
+        names = payload["nodes"]
+        assert names == sorted(names)
+        for path in entry["paths"]:
+            assert all(isinstance(i, int) for i in path)
+        decoded = [tuple(names[i] for i in path) for path in entry["paths"]]
+        assert decoded == expected
+
+    def test_format1_payload_still_loads(self, square):
+        cache = KspCache(square)
+        expected = cache.get("a", "c", 99)
+        legacy = {
+            "format": 1,
+            "signature": network_signature(square),
+            "pairs": [
+                {
+                    "src": "a",
+                    "dst": "c",
+                    "paths": [list(path) for path in expected],
+                    "exhausted": True,
+                }
+            ],
+        }
+        restored = KspCache.load(legacy, square)
+        assert restored.get("a", "c", 99) == expected
 
     def test_dump_file_bound(self, diamond, tmp_path):
         cache = KspCache(diamond)

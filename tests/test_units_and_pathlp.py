@@ -6,10 +6,23 @@ from repro.net.units import Gbps, Kbps, Mbps, Tbps, ms, to_gbps, to_ms
 from repro.routing.pathlp import (
     OVERLOAD_TOLERANCE,
     PathLpResult,
+    path_lp_columns,
     solve_latency_lp,
     solve_minmax_lp,
 )
 from repro.tm.matrix import Aggregate
+
+
+class TestPathLpColumns:
+    def test_counts_paths_omax_and_overloads(self, diamond):
+        agg = Aggregate("s", "t", Gbps(5))
+        paths = [("s", "x", "t"), ("s", "y", "t")]
+        assert path_lp_columns(diamond, {agg: paths}) == (
+            2 + 1 + diamond.num_links
+        )
+
+    def test_empty_path_sets(self, diamond):
+        assert path_lp_columns(diamond, {}) == 1 + diamond.num_links
 
 
 class TestUnits:
